@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared infrastructure for the figure-reproduction benchmarks.
+ *
+ * Every bench binary accepts the same options:
+ *   --cycles N     simulated cycles per case (default 200000)
+ *   --warmup N     warmup cycles excluded from IPC (default 40000)
+ *   --pairs N      number of kernel pairs (0 = all 90)
+ *   --trios N      number of kernel trios (0 = all 60)
+ *   --cache DIR    result cache directory (default .qos_cache)
+ *   --no-cache     disable the cache
+ *   --full         paper-scale sweep (all pairs/trios)
+ *
+ * Results are memoized in the cache directory, so running fig6
+ * first makes fig7/8/9/14 nearly free.
+ */
+
+#ifndef GQOS_BENCH_BENCH_COMMON_HH
+#define GQOS_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "harness/runner.hh"
+#include "workloads/parboil.hh"
+
+namespace gqos::bench
+{
+
+/** Default subset sizes keeping one bench run in the minutes range
+ *  on a laptop; --full restores the paper's 90 pairs / 60 trios. */
+constexpr int defaultPairs = 18;
+constexpr int defaultTrios = 12;
+
+inline Runner::Options
+runnerOptions(const CliArgs &args, const std::string &config = "default")
+{
+    Runner::Options opts;
+    opts.cycles = args.getInt("cycles", 200000);
+    opts.warmupCycles = args.getInt("warmup", 40000);
+    opts.configName = args.getString("config", config);
+    opts.cacheDir = args.getString("cache", ".qos_cache");
+    opts.useCache = args.getBool("cache-enabled",
+                                 !args.has("no-cache"));
+    opts.verbose = args.getBool("verbose", false);
+    return opts;
+}
+
+/** Deterministically subsample every Nth element to @p count. */
+template <typename T>
+std::vector<T>
+subsample(const std::vector<T> &all, int count)
+{
+    if (count <= 0 || count >= static_cast<int>(all.size()))
+        return all;
+    std::vector<T> out;
+    double stride = static_cast<double>(all.size()) / count;
+    for (int i = 0; i < count; ++i)
+        out.push_back(all[static_cast<std::size_t>(i * stride)]);
+    return out;
+}
+
+inline std::vector<std::pair<std::string, std::string>>
+selectedPairs(const CliArgs &args)
+{
+    int n = args.getBool("full", false)
+        ? 0 : static_cast<int>(args.getInt("pairs", defaultPairs));
+    return subsample(parboilPairs(), n);
+}
+
+inline std::vector<std::array<std::string, 3>>
+selectedTrios(const CliArgs &args)
+{
+    int n = args.getBool("full", false)
+        ? 0 : static_cast<int>(args.getInt("trios", defaultTrios));
+    return subsample(parboilTrios(), n);
+}
+
+/** Accumulates QoSreach (Section 4.1 metric) per goal bucket. */
+class ReachStat
+{
+  public:
+    void
+    add(bool reached)
+    {
+        total_++;
+        if (reached)
+            success_++;
+    }
+
+    double
+    reach() const
+    {
+        return total_ ? static_cast<double>(success_) / total_ : 0.0;
+    }
+
+    int total() const { return total_; }
+    int success() const { return success_; }
+
+  private:
+    int total_ = 0;
+    int success_ = 0;
+};
+
+/** Mean accumulator for throughput columns. */
+class MeanStat
+{
+  public:
+    void
+    add(double v)
+    {
+        sum_ += v;
+        n_++;
+    }
+
+    double mean() const { return n_ ? sum_ / n_ : 0.0; }
+    int count() const { return n_; }
+
+  private:
+    double sum_ = 0.0;
+    int n_ = 0;
+};
+
+inline void
+printHeader(const char *title)
+{
+    std::printf("\n================================================="
+                "=============\n%s\n"
+                "=================================================="
+                "============\n", title);
+}
+
+} // namespace gqos::bench
+
+#endif // GQOS_BENCH_BENCH_COMMON_HH

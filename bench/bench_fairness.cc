@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Extension benchmark (beyond the paper's figures): fairness mode
+ * vs QoS mode on the same co-runs. Section 3.3 notes the firmware
+ * can switch between the two policies; this harness quantifies the
+ * trade: SMK-fair equalizes slowdowns (high Jain index) without
+ * guarantees, while Rollover guarantees the QoS kernel and gives
+ * the leftovers to the other.
+ */
+
+#include "bench/bench_common.hh"
+
+#include "policy/smk_fair.hh"
+
+using namespace gqos;
+using namespace gqos::bench;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    Runner runner(runnerOptions(args));
+    auto pairs = subsample(parboilPairs(),
+                           static_cast<int>(args.getInt("pairs", 8)));
+    Cycle cycles = args.getInt("cycles", 200000);
+
+    printHeader("Extension: fairness (SMK-fair) vs QoS (Rollover "
+                "70%) on the same pairs");
+    std::printf("%-22s | %8s %8s %8s | %8s %8s\n", "pair",
+                "fair.p0", "fair.p1", "jain", "qos.met",
+                "qos.nonQoS");
+
+    MeanStat jain, qos_nq;
+    int met = 0, total = 0;
+    for (const auto &[k0, k1] : pairs) {
+        // Fairness mode.
+        GpuConfig cfg = runner.config();
+        double iso0 = runner.isolatedIpc(k0);
+        double iso1 = runner.isolatedIpc(k1);
+        Gpu gpu(cfg);
+        const KernelDesc &d0 = parboilKernel(k0);
+        const KernelDesc &d1 = parboilKernel(k1);
+        gpu.launch({&d0, &d1});
+        SmkFairPolicy fair({iso0, iso1}, SmkFairOptions{},
+                           cfg.epochLength);
+        fair.onLaunch(gpu);
+        for (Cycle c = 0; c < cycles; ++c) {
+            fair.onCycle(gpu);
+            gpu.step();
+        }
+
+        // QoS mode on the same pair (cached).
+        CaseResult r = runner.run({k0, k1}, {0.7, 0.0},
+                                  "rollover");
+        total++;
+        if (r.allReached())
+            met++;
+        jain.add(fair.fairnessIndex());
+        if (r.allReached())
+            qos_nq.add(r.nonQosThroughput());
+
+        std::printf("%-10s+%-11s | %8.2f %8.2f %8.3f | %8s %8.2f\n",
+                    k0.c_str(), k1.c_str(), fair.progress(0),
+                    fair.progress(1), fair.fairnessIndex(),
+                    r.allReached() ? "yes" : "no",
+                    r.nonQosThroughput());
+    }
+    std::printf("\nmean Jain index (fairness mode): %.3f; QoS mode "
+                "met %d/%d goals with mean non-QoS throughput "
+                "%.2f\n", jain.mean(), met, total, qos_nq.mean());
+    return 0;
+}

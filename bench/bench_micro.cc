@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the simulator substrate:
+ * cache access, memory-system load path, SM cycle and whole-GPU
+ * step throughput. These guard the simulation speed the figure
+ * benchmarks depend on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/gpu_config.hh"
+#include "gpu/gpu.hh"
+#include "mem/cache.hh"
+#include "mem/mem_system.hh"
+#include "common/rng.hh"
+#include "workloads/parboil.hh"
+
+using namespace gqos;
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(24 * 1024, 6);
+    Rng rng(1);
+    Addr base = Addr(1) << 40;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(base + rng.below(4096) * 128, 0));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_MemSystemLoad(benchmark::State &state)
+{
+    GpuConfig cfg = defaultConfig();
+    MemSystem mem(cfg);
+    Rng rng(2);
+    Addr base = Addr(1) << 40;
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mem.load(0, 0, base + rng.below(65536) * 128, now));
+        now += 2;
+    }
+}
+BENCHMARK(BM_MemSystemLoad);
+
+static void
+BM_RngUniform(benchmark::State &state)
+{
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.uniform());
+}
+BENCHMARK(BM_RngUniform);
+
+static void
+BM_GpuStepCompute(benchmark::State &state)
+{
+    GpuConfig cfg = defaultConfig();
+    Gpu gpu(cfg);
+    const KernelDesc &d = parboilKernel("sgemm");
+    gpu.launch({&d});
+    for (int s = 0; s < gpu.numSms(); ++s)
+        gpu.setTbTarget(s, 0, d.maxTbsPerSm(cfg));
+    for (int i = 0; i < 20000; ++i)
+        gpu.step(); // warm
+    for (auto _ : state)
+        gpu.step();
+}
+BENCHMARK(BM_GpuStepCompute);
+
+static void
+BM_GpuStepMemory(benchmark::State &state)
+{
+    GpuConfig cfg = defaultConfig();
+    Gpu gpu(cfg);
+    const KernelDesc &d = parboilKernel("lbm");
+    gpu.launch({&d});
+    for (int s = 0; s < gpu.numSms(); ++s)
+        gpu.setTbTarget(s, 0, d.maxTbsPerSm(cfg));
+    for (int i = 0; i < 20000; ++i)
+        gpu.step();
+    for (auto _ : state)
+        gpu.step();
+}
+BENCHMARK(BM_GpuStepMemory);
+
+BENCHMARK_MAIN();

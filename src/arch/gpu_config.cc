@@ -1,0 +1,84 @@
+/**
+ * @file
+ * GPU configuration validation and presets.
+ */
+
+#include "arch/gpu_config.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gqos
+{
+
+void
+GpuConfig::validate() const
+{
+    if (numSms < 1 || numSms > 256)
+        gqos_fatal("numSms=%d out of range [1,256]", numSms);
+    if (numMemPartitions < 1)
+        gqos_fatal("numMemPartitions must be >= 1");
+    if (maxThreadsPerSm % warpSize != 0)
+        gqos_fatal("maxThreadsPerSm must be a multiple of %d",
+                   warpSize);
+    if (warpSchedulersPerSm < 1)
+        gqos_fatal("warpSchedulersPerSm must be >= 1");
+    if (maxWarpsPerSm() % warpSchedulersPerSm != 0)
+        gqos_fatal("warps per SM (%d) must divide evenly among %d "
+                   "schedulers", maxWarpsPerSm(), warpSchedulersPerSm);
+    if (warpsPerScheduler() > 64)
+        gqos_fatal("more than 64 warps per scheduler is not "
+                   "supported (ready masks are 64-bit)");
+    if (l1Bytes % (l1Assoc * lineSizeBytes) != 0)
+        gqos_fatal("L1 size must divide into %d-way %dB sets",
+                   l1Assoc, lineSizeBytes);
+    if (l2BytesPerPartition % (l2Assoc * lineSizeBytes) != 0)
+        gqos_fatal("L2 size must divide into %d-way %dB sets",
+                   l2Assoc, lineSizeBytes);
+    if (epochLength < 100)
+        gqos_fatal("epochLength=%llu too small",
+                   static_cast<unsigned long long>(epochLength));
+    if (iwSamplesPerEpoch < 1 ||
+        static_cast<Cycle>(iwSamplesPerEpoch) > epochLength)
+        gqos_fatal("iwSamplesPerEpoch out of range");
+    if (dramSlotsPerCycle <= 0.0)
+        gqos_fatal("dramSlotsPerCycle must be positive");
+}
+
+std::string
+GpuConfig::summary() const
+{
+    std::ostringstream os;
+    os << numSms << " SMs @" << coreFreqGhz << "GHz, "
+       << warpSchedulersPerSm << " sched/SM ("
+       << (schedPolicy == SchedPolicy::Gto ? "GTO" : "LRR") << "), "
+       << maxThreadsPerSm << " thr/SM, " << maxTbsPerSm << " TB/SM, "
+       << regFileBytes / 1024 << "KB regs, "
+       << sharedMemBytes / 1024 << "KB smem, "
+       << numMemPartitions << " MCs";
+    return os.str();
+}
+
+GpuConfig
+defaultConfig()
+{
+    GpuConfig cfg;
+    cfg.validate();
+    return cfg;
+}
+
+GpuConfig
+largeConfig()
+{
+    GpuConfig cfg;
+    cfg.numSms = 56;
+    cfg.warpSchedulersPerSm = 2;
+    cfg.numMemPartitions = 8;
+    // Scale GPU-wide interconnect/DRAM capability with the part.
+    cfg.icntFlitsPerCycle = 24;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace gqos

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Kernel descriptor helpers.
+ */
+
+#include "arch/kernel_desc.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace gqos
+{
+
+int
+KernelDesc::maxTbsPerSm(const GpuConfig &cfg) const
+{
+    int by_threads = cfg.maxThreadsPerSm / threadsPerTb;
+    int by_regs = cfg.regsPerSm() / std::max(1, regsPerTb());
+    int by_smem = smemPerTb > 0 ? cfg.sharedMemBytes / smemPerTb
+                                : cfg.maxTbsPerSm;
+    int by_slots = cfg.maxTbsPerSm;
+    return std::max(0, std::min({by_threads, by_regs, by_smem,
+                                 by_slots}));
+}
+
+std::uint64_t
+KernelDesc::contextBytesPerTb() const
+{
+    return static_cast<std::uint64_t>(regsPerTb()) * 4 + smemPerTb;
+}
+
+void
+KernelDesc::validate() const
+{
+    if (name.empty())
+        gqos_fatal("kernel has no name");
+    if (threadsPerTb <= 0 || threadsPerTb % warpSize != 0)
+        gqos_fatal("%s: threadsPerTb=%d must be a positive multiple "
+                   "of %d", name.c_str(), threadsPerTb, warpSize);
+    if (regsPerThread < 1 || regsPerThread > 255)
+        gqos_fatal("%s: regsPerThread=%d out of range", name.c_str(),
+                   regsPerThread);
+    if (smemPerTb < 0)
+        gqos_fatal("%s: negative shared memory", name.c_str());
+    if (gridTbs < 1)
+        gqos_fatal("%s: gridTbs must be >= 1", name.c_str());
+    if (warpInstrPerTb < 1)
+        gqos_fatal("%s: warpInstrPerTb must be >= 1", name.c_str());
+    if (phases.empty())
+        gqos_fatal("%s: kernel needs at least one phase",
+                   name.c_str());
+    if (tbVariance < 0.0 || tbVariance > 0.5)
+        gqos_fatal("%s: tbVariance out of [0,0.5]", name.c_str());
+    for (const auto &p : phases) {
+        if (p.weight <= 0.0)
+            gqos_fatal("%s: phase weight must be positive",
+                       name.c_str());
+        if (p.memRatio < 0.0 || p.memRatio > 1.0 ||
+            p.sharedRatio < 0.0 || p.sfuRatio < 0.0 ||
+            p.memRatio + p.sharedRatio + p.sfuRatio > 1.0) {
+            gqos_fatal("%s: phase instruction mix out of range",
+                       name.c_str());
+        }
+        if (p.avgTransPerMem < 1.0 || p.avgTransPerMem > warpSize)
+            gqos_fatal("%s: avgTransPerMem out of [1,%d]",
+                       name.c_str(), warpSize);
+        if (p.hotFraction < 0.0 || p.hotFraction > 1.0)
+            gqos_fatal("%s: hotFraction out of [0,1]", name.c_str());
+        if (p.hotLines < 1)
+            gqos_fatal("%s: hotLines must be >= 1", name.c_str());
+        if (p.activeLanes < 1.0 || p.activeLanes > warpSize)
+            gqos_fatal("%s: activeLanes out of [1,%d]", name.c_str(),
+                       warpSize);
+        if (p.aluLatency < 1)
+            gqos_fatal("%s: aluLatency must be >= 1", name.c_str());
+        if (p.smemConflict < 1.0)
+            gqos_fatal("%s: smemConflict must be >= 1", name.c_str());
+    }
+}
+
+std::vector<double>
+phaseBoundaries(const KernelDesc &desc)
+{
+    double total = 0.0;
+    for (const auto &p : desc.phases)
+        total += p.weight;
+    std::vector<double> bounds;
+    bounds.reserve(desc.phases.size());
+    double acc = 0.0;
+    for (const auto &p : desc.phases) {
+        acc += p.weight / total;
+        bounds.push_back(acc);
+    }
+    bounds.back() = 1.0; // guard against rounding
+    return bounds;
+}
+
+} // namespace gqos

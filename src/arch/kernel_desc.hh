@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Kernel behaviour model.
+ *
+ * A KernelDesc captures everything the simulator needs to know about
+ * a kernel: its static resource demands (thread-block geometry,
+ * registers, shared memory) and a phase-based statistical model of
+ * its dynamic instruction stream. Phases give kernels time-varying
+ * behaviour across an execution, which is what makes naive quota
+ * allocation fail in the paper (Section 3.4.2).
+ */
+
+#ifndef GQOS_ARCH_KERNEL_DESC_HH
+#define GQOS_ARCH_KERNEL_DESC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_config.hh"
+#include "arch/types.hh"
+
+namespace gqos
+{
+
+/**
+ * One execution phase of a kernel. A warp working through its per-TB
+ * instruction budget moves through the kernel's phases in order,
+ * spending a fraction of its instructions proportional to each
+ * phase's weight.
+ */
+struct KernelPhase
+{
+    double weight = 1.0;        //!< fraction of the TB's instructions
+    double memRatio = 0.1;      //!< global-memory instruction ratio
+    double storeFraction = 0.2; //!< stores among memory instructions
+    double sharedRatio = 0.0;   //!< shared-memory instruction ratio
+    double sfuRatio = 0.0;      //!< SFU instruction ratio
+    int aluLatency = 6;         //!< dependent-issue ALU latency
+    double avgTransPerMem = 2.0;//!< coalescing: transactions/access
+    double hotFraction = 0.6;   //!< accesses hitting hot working set
+    std::uint32_t hotLines = 2048; //!< hot working set, cache lines
+    double activeLanes = 32.0;  //!< mean active lanes (divergence)
+    double smemConflict = 1.0;  //!< shared-mem bank-conflict factor
+};
+
+/**
+ * Static description plus dynamic behaviour model of one kernel.
+ */
+struct KernelDesc
+{
+    std::string name;
+
+    // ---- static resources ----
+    int threadsPerTb = 256;     //!< must be a multiple of warpSize
+    int regsPerThread = 32;     //!< architectural registers
+    int smemPerTb = 0;          //!< shared-memory bytes per TB
+    int gridTbs = 512;          //!< TBs per kernel launch
+
+    /** Warp-level instructions each warp executes per TB. */
+    std::uint64_t warpInstrPerTb = 4000;
+
+    /** Behaviour phases; weights need not sum to 1 (normalized). */
+    std::vector<KernelPhase> phases;
+
+    /**
+     * Grid-position behaviour variance: groups of 16 consecutive
+     * TBs share an intensity factor in [1 - tbVariance,
+     * 1 + tbVariance] scaling their memory ratio and ALU latency.
+     * This models the input-dependent behaviour differences across
+     * a grid (sparse rows, histogram bins, boundary tiles) that
+     * give real kernels their epoch-to-epoch IPC fluctuation -- the
+     * effect that makes naive quota allocation miss QoS goals
+     * (Section 3.4.2 / Figure 5).
+     */
+    double tbVariance = 0.25;
+
+    WorkloadClass wclass = WorkloadClass::Compute;
+
+    /** Stream seed; combined with warp identity at run time. */
+    std::uint64_t seed = 0;
+
+    /** Warps per thread block. */
+    int warpsPerTb() const { return threadsPerTb / warpSize; }
+
+    /** Registers consumed by one TB. */
+    int regsPerTb() const { return regsPerThread * threadsPerTb; }
+
+    /**
+     * Maximum co-resident TBs of this kernel on an otherwise empty
+     * SM, limited by threads, registers, shared memory and TB slots.
+     */
+    int maxTbsPerSm(const GpuConfig &cfg) const;
+
+    /** Context bytes moved when preempting one TB (regs + smem). */
+    std::uint64_t contextBytesPerTb() const;
+
+    /** Die on inconsistent parameters. */
+    void validate() const;
+};
+
+/**
+ * Normalized phase boundaries: element i is the fraction of the
+ * per-TB instruction budget at which phase i ends.
+ */
+std::vector<double> phaseBoundaries(const KernelDesc &desc);
+
+} // namespace gqos
+
+#endif // GQOS_ARCH_KERNEL_DESC_HH

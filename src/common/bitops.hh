@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the warp schedulers.
+ */
+
+#ifndef GQOS_COMMON_BITOPS_HH
+#define GQOS_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace gqos
+{
+
+/** Index of the least-significant set bit, or 64 if mask == 0. */
+inline int
+firstSetBit(std::uint64_t mask)
+{
+    return std::countr_zero(mask);
+}
+
+/** Number of set bits. */
+inline int
+popCount(std::uint64_t mask)
+{
+    return std::popcount(mask);
+}
+
+/** True if bit @p idx is set. */
+inline bool
+testBit(std::uint64_t mask, int idx)
+{
+    return (mask >> idx) & 1ull;
+}
+
+/** Return @p mask with bit @p idx set. */
+inline std::uint64_t
+setBit(std::uint64_t mask, int idx)
+{
+    return mask | (1ull << idx);
+}
+
+/** Return @p mask with bit @p idx cleared. */
+inline std::uint64_t
+clearBit(std::uint64_t mask, int idx)
+{
+    return mask & ~(1ull << idx);
+}
+
+/** Integer ceiling division for non-negative operands. */
+template <typename T>
+inline T
+divCeil(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace gqos
+
+#endif // GQOS_COMMON_BITOPS_HH

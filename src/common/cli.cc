@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Command-line parser implementation.
+ */
+
+#include "common/cli.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace gqos
+{
+
+CliArgs::CliArgs(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            values_[body.substr(0, eq)] = body.substr(eq + 1);
+            continue;
+        }
+        if (body.substr(0, 3) == "no-") {
+            values_[body.substr(3)] = "false";
+            continue;
+        }
+        // `--key value` when the next token is not an option;
+        // otherwise a bare boolean flag.
+        if (i + 1 < argc && std::string(argv[i + 1]).substr(0, 2)
+                != "--") {
+            values_[body] = argv[i + 1];
+            i++;
+        } else {
+            values_[body] = "true";
+        }
+    }
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+CliArgs::getString(const std::string &name, const std::string &def) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+CliArgs::getInt(const std::string &name, std::int64_t def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        gqos_fatal("option --%s expects an integer, got '%s'",
+                   name.c_str(), it->second.c_str());
+    return v;
+}
+
+double
+CliArgs::getDouble(const std::string &name, double def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        gqos_fatal("option --%s expects a number, got '%s'",
+                   name.c_str(), it->second.c_str());
+    return v;
+}
+
+bool
+CliArgs::getBool(const std::string &name, bool def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    gqos_fatal("option --%s expects a boolean, got '%s'",
+               name.c_str(), v.c_str());
+}
+
+std::vector<std::string>
+splitList(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : text) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else if (c != ' ') {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+} // namespace gqos

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal command-line option parser for examples and benchmark
+ * harnesses. Supports `--key value`, `--key=value` and boolean
+ * flags (`--flag`, `--no-flag`).
+ */
+
+#ifndef GQOS_COMMON_CLI_HH
+#define GQOS_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gqos
+{
+
+/**
+ * Parsed command line. Unknown options are collected rather than
+ * rejected so harnesses can layer option sets.
+ */
+class CliArgs
+{
+  public:
+    /** Parse argv; argv[0] is skipped. */
+    CliArgs(int argc, const char *const *argv);
+
+    /** True if --name or --name=... was present. */
+    bool has(const std::string &name) const;
+
+    /** String value, or @p def if absent. */
+    std::string getString(const std::string &name,
+                          const std::string &def) const;
+
+    /** Integer value, or @p def if absent. fatal() on parse error. */
+    std::int64_t getInt(const std::string &name, std::int64_t def) const;
+
+    /** Double value, or @p def if absent. fatal() on parse error. */
+    double getDouble(const std::string &name, double def) const;
+
+    /**
+     * Boolean flag: --name => true, --no-name => false, --name=0/1,
+     * absent => @p def.
+     */
+    bool getBool(const std::string &name, bool def) const;
+
+    /** Positional (non-option) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+/** Split a comma-separated list into trimmed tokens. */
+std::vector<std::string> splitList(const std::string &text,
+                                   char sep = ',');
+
+} // namespace gqos
+
+#endif // GQOS_COMMON_CLI_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * CSV reader/writer implementation.
+ */
+
+#include "common/csv.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gqos
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cur;
+    for (char c : line) {
+        if (c == ',') {
+            cells.push_back(cur);
+            cur.clear();
+        } else if (c != '\r') {
+            cur.push_back(c);
+        }
+    }
+    cells.push_back(cur);
+    return cells;
+}
+
+} // anonymous namespace
+
+void
+CsvTable::append(const CsvRow &row)
+{
+    for (const auto &[key, value] : row) {
+        if (value.find(',') != std::string::npos ||
+            value.find('\n') != std::string::npos) {
+            gqos_fatal("CSV cell for column '%s' contains a "
+                       "separator: '%s'", key.c_str(), value.c_str());
+        }
+        if (std::find(columns_.begin(), columns_.end(), key) ==
+            columns_.end()) {
+            columns_.push_back(key);
+        }
+    }
+    rows_.push_back(row);
+}
+
+std::string
+CsvTable::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < columns_.size(); ++i)
+        os << (i ? "," : "") << columns_[i];
+    os << "\n";
+    for (const auto &row : rows_) {
+        for (std::size_t i = 0; i < columns_.size(); ++i) {
+            auto it = row.find(columns_[i]);
+            os << (i ? "," : "")
+               << (it == row.end() ? "" : it->second);
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+CsvTable::save(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        gqos_fatal("cannot open '%s' for writing", path.c_str());
+    out << toString();
+}
+
+bool
+CsvTable::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    columns_.clear();
+    rows_.clear();
+    std::string line;
+    if (!std::getline(in, line))
+        return true; // empty file: empty table
+    columns_ = splitCsvLine(line);
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        auto cells = splitCsvLine(line);
+        CsvRow row;
+        for (std::size_t i = 0;
+             i < cells.size() && i < columns_.size(); ++i) {
+            row[columns_[i]] = cells[i];
+        }
+        rows_.push_back(std::move(row));
+    }
+    return true;
+}
+
+} // namespace gqos

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tiny CSV reader/writer used by the harness result cache and by the
+ * benchmark binaries when exporting figure data.
+ */
+
+#ifndef GQOS_COMMON_CSV_HH
+#define GQOS_COMMON_CSV_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gqos
+{
+
+/** One CSV row: column name -> cell text. */
+using CsvRow = std::map<std::string, std::string>;
+
+/**
+ * A CSV table with a header row. Cells never contain commas or
+ * newlines in this project, so no quoting is implemented; writing a
+ * cell containing either is a fatal error.
+ */
+class CsvTable
+{
+  public:
+    CsvTable() = default;
+
+    /** Create with a fixed column order. */
+    explicit CsvTable(std::vector<std::string> columns)
+        : columns_(std::move(columns))
+    {}
+
+    /** Append a row; unknown columns are added to the schema. */
+    void append(const CsvRow &row);
+
+    const std::vector<std::string> &columns() const { return columns_; }
+    const std::vector<CsvRow> &rows() const { return rows_; }
+
+    /** Serialize to CSV text. */
+    std::string toString() const;
+
+    /** Write to @p path, replacing any existing file. */
+    void save(const std::string &path) const;
+
+    /**
+     * Load from @p path.
+     * @return true on success, false if the file does not exist.
+     */
+    bool load(const std::string &path);
+
+  private:
+    std::vector<std::string> columns_;
+    std::vector<CsvRow> rows_;
+};
+
+} // namespace gqos
+
+#endif // GQOS_COMMON_CSV_HH

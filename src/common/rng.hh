@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be fully reproducible: every random draw comes
+ * from an explicitly seeded generator, never from global state or
+ * wall-clock entropy. Rng is a small, fast xoshiro256** generator
+ * suitable for the hot path of procedural instruction-stream
+ * generation.
+ */
+
+#ifndef GQOS_COMMON_RNG_HH
+#define GQOS_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace gqos
+{
+
+/**
+ * A small, fast, deterministic PRNG (xoshiro256**).
+ *
+ * Seeding goes through splitmix64 so that nearby seeds (e.g. kernel
+ * id, warp id) produce decorrelated streams.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; seed 0 is remapped internally. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        reseed(seed);
+    }
+
+    /** Re-seed the generator deterministically. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed + 0x9e3779b97f4a7c15ull;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free approximation is
+        // fine here; bias is negligible for bound << 2^64.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        if (hi <= lo)
+            return lo;
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+/**
+ * Mix several identifiers into a single 64-bit stream seed.
+ * Used to give every (kernel, TB, warp) tuple its own deterministic
+ * instruction stream.
+ */
+inline std::uint64_t
+mixSeed(std::uint64_t a, std::uint64_t b = 0, std::uint64_t c = 0)
+{
+    std::uint64_t h = a * 0x9e3779b97f4a7c15ull;
+    h ^= (b + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= (c + 0x94d049bb133111ebull + (h << 6) + (h >> 2));
+    h ^= h >> 29;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 32;
+    return h;
+}
+
+} // namespace gqos
+
+#endif // GQOS_COMMON_RNG_HH

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Top-level GPU implementation.
+ */
+
+#include "gpu/gpu.hh"
+
+#include "common/logging.hh"
+
+namespace gqos
+{
+
+Gpu::Gpu(const GpuConfig &cfg)
+    : cfg_(cfg)
+{
+    cfg_.validate();
+    mem_ = std::make_unique<MemSystem>(cfg_);
+    sms_.reserve(cfg_.numSms);
+    for (int i = 0; i < cfg_.numSms; ++i)
+        sms_.emplace_back(cfg_, i, *mem_);
+    iwSampleInterval_ = cfg_.epochLength / cfg_.iwSamplesPerEpoch;
+    if (iwSampleInterval_ == 0)
+        iwSampleInterval_ = 1;
+}
+
+void
+Gpu::launch(const std::vector<const KernelDesc *> &descs)
+{
+    if (descs.empty())
+        gqos_fatal("launch() needs at least one kernel");
+    if (static_cast<int>(descs.size()) > maxKernels)
+        gqos_fatal("at most %d concurrent kernels are supported",
+                   maxKernels);
+    gqos_assert(runs_.empty());
+
+    runs_.reserve(descs.size());
+    dispatch_.resize(descs.size());
+    for (std::size_t k = 0; k < descs.size(); ++k) {
+        runs_.emplace_back(*descs[k], static_cast<KernelId>(k),
+                           cfg_);
+        dispatch_[k].remainingInLaunch = descs[k]->gridTbs;
+        dispatch_[k].launches = 1;
+    }
+
+    std::vector<const KernelRun *> run_ptrs;
+    for (const auto &r : runs_)
+        run_ptrs.push_back(&r);
+    for (auto &sm : sms_) {
+        sm.bindKernels(run_ptrs);
+        sm.setTbEventCallback(
+            [this](SmId s, KernelId k, TbExit e) {
+                onTbEvent(s, k, e);
+            });
+    }
+
+    tbTargets_.assign(sms_.size(),
+                      std::vector<int>(runs_.size(), 0));
+}
+
+void
+Gpu::onTbEvent(SmId sm, KernelId k, TbExit exit)
+{
+    (void)sm;
+    KernelDispatchState &ds = dispatch_[k];
+    ds.liveTbs--;
+    gqos_assert(ds.liveTbs >= 0);
+    if (exit == TbExit::Completed) {
+        ds.completedTbs++;
+    } else {
+        // Preempted TB: its context conceptually lives in memory;
+        // the work is requeued and re-dispatched later.
+        ds.preemptedTbs++;
+        ds.remainingInLaunch++;
+    }
+    if (ds.remainingInLaunch == 0 && ds.liveTbs == 0) {
+        // Grid finished: immediately relaunch (the evaluation
+        // re-executes kernels to fill the measurement window).
+        const KernelDesc &d = runs_[k].desc();
+        ds.remainingInLaunch = d.gridTbs;
+        ds.launches++;
+    }
+}
+
+void
+Gpu::dispatchCycle()
+{
+    int nk = numKernels();
+    for (std::size_t s = 0; s < sms_.size(); ++s) {
+        SmCore &sm = sms_[s];
+
+        // Shrink first: one pending preemption per SM at a time.
+        if (!sm.preemptionPending()) {
+            for (int k = 0; k < nk; ++k) {
+                if (sm.residentTbs(k) > tbTargets_[s][k]) {
+                    sm.startPreemption(k, now_);
+                    break;
+                }
+            }
+        }
+
+        // Grow: at most one TB dispatched per SM per cycle.
+        int start = static_cast<int>((now_ + s) %
+                                     static_cast<Cycle>(nk));
+        for (int i = 0; i < nk; ++i) {
+            int k = start + i;
+            if (k >= nk)
+                k -= nk;
+            if (dispatch_[k].remainingInLaunch <= 0)
+                continue;
+            if (sm.residentTbs(k) >= tbTargets_[s][k])
+                continue;
+            if (!sm.canAccept(k))
+                continue;
+            std::uint64_t launch_pos = static_cast<std::uint64_t>(
+                runs_[k].desc().gridTbs -
+                dispatch_[k].remainingInLaunch);
+            sm.dispatchTb(k, tbSeq_++, launch_pos, now_);
+            dispatch_[k].remainingInLaunch--;
+            dispatch_[k].liveTbs++;
+            break;
+        }
+    }
+}
+
+void
+Gpu::step()
+{
+    bool sample_iw = (now_ % iwSampleInterval_) == 0;
+    for (auto &sm : sms_)
+        sm.cycle(now_, sample_iw);
+    dispatchCycle();
+    now_++;
+}
+
+void
+Gpu::setTbTarget(SmId sm, KernelId k, int target)
+{
+    gqos_assert(sm >= 0 && sm < numSms());
+    gqos_assert(k >= 0 && k < numKernels());
+    gqos_assert(target >= 0);
+    tbTargets_[sm][k] = target;
+}
+
+int
+Gpu::tbTarget(SmId sm, KernelId k) const
+{
+    gqos_assert(sm >= 0 && sm < numSms());
+    gqos_assert(k >= 0 && k < numKernels());
+    return tbTargets_[sm][k];
+}
+
+int
+Gpu::residentTbs(SmId sm, KernelId k) const
+{
+    gqos_assert(sm >= 0 && sm < numSms());
+    return sms_[sm].residentTbs(k);
+}
+
+int
+Gpu::totalResidentTbs(KernelId k) const
+{
+    int n = 0;
+    for (const auto &sm : sms_)
+        n += sm.residentTbs(k);
+    return n;
+}
+
+void
+Gpu::setQuotaGatingAll(bool on)
+{
+    for (auto &sm : sms_)
+        sm.setQuotaGating(on);
+}
+
+SmCore &
+Gpu::sm(SmId id)
+{
+    gqos_assert(id >= 0 && id < numSms());
+    return sms_[id];
+}
+
+const SmCore &
+Gpu::sm(SmId id) const
+{
+    gqos_assert(id >= 0 && id < numSms());
+    return sms_[id];
+}
+
+const KernelRun &
+Gpu::kernelRun(KernelId k) const
+{
+    gqos_assert(k >= 0 && k < numKernels());
+    return runs_[k];
+}
+
+const KernelDesc &
+Gpu::kernelDesc(KernelId k) const
+{
+    return kernelRun(k).desc();
+}
+
+std::uint64_t
+Gpu::threadInstrs(KernelId k) const
+{
+    std::uint64_t n = 0;
+    for (const auto &sm : sms_)
+        n += sm.kernelStats(k).threadInstrs;
+    return n;
+}
+
+std::uint64_t
+Gpu::warpInstrs(KernelId k) const
+{
+    std::uint64_t n = 0;
+    for (const auto &sm : sms_)
+        n += sm.kernelStats(k).warpInstrs;
+    return n;
+}
+
+const KernelDispatchState &
+Gpu::dispatchState(KernelId k) const
+{
+    gqos_assert(k >= 0 && k < numKernels());
+    return dispatch_[k];
+}
+
+double
+Gpu::ipc(KernelId k) const
+{
+    if (now_ == 0)
+        return 0.0;
+    return static_cast<double>(threadInstrs(k)) / now_;
+}
+
+} // namespace gqos

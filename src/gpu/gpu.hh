@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Top-level GPU: SM array, memory system and the enhanced TB
+ * scheduler (Figure 3 of the paper).
+ *
+ * The TB scheduler maintains a per-(SM, kernel) *target* number of
+ * resident TBs. Sharing policies (fine-grained QoS, Spart, ...)
+ * steer execution exclusively by moving these targets and by setting
+ * quota counters; the dispatcher converges the machine toward the
+ * targets by dispatching TBs where resident < target and starting
+ * partial context switches where resident > target.
+ */
+
+#ifndef GQOS_GPU_GPU_HH
+#define GQOS_GPU_GPU_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/gpu_config.hh"
+#include "arch/kernel_desc.hh"
+#include "arch/types.hh"
+#include "mem/mem_system.hh"
+#include "sm/kernel_run.hh"
+#include "sm/sm_core.hh"
+
+namespace gqos
+{
+
+/** Per-kernel dispatch bookkeeping and lifetime statistics. */
+struct KernelDispatchState
+{
+    int remainingInLaunch = 0; //!< TBs not yet dispatched this launch
+    int liveTbs = 0;           //!< dispatched, not yet completed
+    std::uint64_t launches = 0;
+    std::uint64_t completedTbs = 0;
+    std::uint64_t preemptedTbs = 0;
+};
+
+/**
+ * The simulated GPU.
+ */
+class Gpu
+{
+  public:
+    explicit Gpu(const GpuConfig &cfg);
+
+    /**
+     * Bind the co-running kernels. Index in @p descs becomes the
+     * KernelId. Descriptors must outlive the Gpu. Kernels relaunch
+     * automatically when a grid completes (the paper re-executes
+     * benchmarks that finish before the measurement window ends).
+     */
+    void launch(const std::vector<const KernelDesc *> &descs);
+
+    /** Advance the machine one core cycle. */
+    void step();
+
+    /** Current cycle (number of completed steps). */
+    Cycle now() const { return now_; }
+
+    // ---- policy control surface ----
+
+    /** Set the desired resident-TB count of kernel @p k on @p sm. */
+    void setTbTarget(SmId sm, KernelId k, int target);
+
+    int tbTarget(SmId sm, KernelId k) const;
+    int residentTbs(SmId sm, KernelId k) const;
+
+    /** Total resident TBs of kernel @p k across the GPU. */
+    int totalResidentTbs(KernelId k) const;
+
+    /** Enable/disable EWS quota gating on every SM. */
+    void setQuotaGatingAll(bool on);
+
+    // ---- component access ----
+
+    SmCore &sm(SmId id);
+    const SmCore &sm(SmId id) const;
+    int numSms() const { return static_cast<int>(sms_.size()); }
+
+    MemSystem &mem() { return *mem_; }
+    const MemSystem &mem() const { return *mem_; }
+
+    const GpuConfig &config() const { return cfg_; }
+
+    int numKernels() const { return static_cast<int>(runs_.size()); }
+    const KernelRun &kernelRun(KernelId k) const;
+    const KernelDesc &kernelDesc(KernelId k) const;
+
+    // ---- metrics ----
+
+    /** Thread-level instructions of @p k retired so far (all SMs). */
+    std::uint64_t threadInstrs(KernelId k) const;
+
+    /** Warp-level instructions of @p k retired so far (all SMs). */
+    std::uint64_t warpInstrs(KernelId k) const;
+
+    const KernelDispatchState &dispatchState(KernelId k) const;
+
+    /** GPU-wide IPC of kernel @p k over the whole run so far. */
+    double ipc(KernelId k) const;
+
+  private:
+    void dispatchCycle();
+    void onTbEvent(SmId sm, KernelId k, TbExit exit);
+
+    GpuConfig cfg_;
+    std::unique_ptr<MemSystem> mem_;
+    std::vector<SmCore> sms_;
+    std::vector<KernelRun> runs_;
+    std::vector<KernelDispatchState> dispatch_;
+    std::vector<std::vector<int>> tbTargets_; //!< [sm][kernel]
+    std::uint64_t tbSeq_ = 0;
+    Cycle now_ = 0;
+    Cycle iwSampleInterval_;
+};
+
+} // namespace gqos
+
+#endif // GQOS_GPU_GPU_HH

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Harness implementation.
+ */
+
+#include "harness/runner.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "gpu/gpu.hh"
+#include "policy/policy_factory.hh"
+#include "power/power_model.hh"
+#include "workloads/parboil.hh"
+
+namespace gqos
+{
+
+bool
+CaseResult::allReached() const
+{
+    for (const auto &k : kernels) {
+        if (k.isQos && !k.reached())
+            return false;
+    }
+    return true;
+}
+
+double
+CaseResult::nonQosThroughput() const
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &k : kernels) {
+        if (!k.isQos) {
+            sum += k.normalizedThroughput();
+            n++;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+double
+CaseResult::qosOvershoot() const
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &k : kernels) {
+        if (k.isQos) {
+            sum += k.normalizedToGoal();
+            n++;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+Runner::Runner(Options opts)
+    : opts_(std::move(opts))
+{
+    if (opts_.configName == "default") {
+        cfg_ = defaultConfig();
+    } else if (opts_.configName == "large") {
+        cfg_ = largeConfig();
+    } else {
+        gqos_fatal("unknown config '%s'", opts_.configName.c_str());
+    }
+    if (opts_.freePreemption) {
+        cfg_.preemptDrainCycles = 0;
+        cfg_.chargePreemptTraffic = false;
+    }
+    if (opts_.useCache) {
+        std::filesystem::create_directories(opts_.cacheDir);
+        cachePath_ = opts_.cacheDir + "/results-" +
+                     opts_.configName + "-" +
+                     std::to_string(opts_.cycles) + "-" +
+                     std::to_string(opts_.warmupCycles) +
+                     (opts_.freePreemption ? "-freepre" : "") +
+                     ".csv";
+        loadCache();
+    }
+}
+
+std::string
+Runner::caseKey(const std::vector<std::string> &kernels,
+                const std::vector<double> &goal_frac,
+                const std::string &policy) const
+{
+    std::ostringstream os;
+    os << policy;
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.4f", goal_frac[i]);
+        os << "|" << kernels[i] << ":" << buf;
+    }
+    return os.str();
+}
+
+void
+Runner::loadCache()
+{
+    std::ifstream in(cachePath_);
+    if (!in)
+        return;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        // key;ipc0,ipc1,...;ipw;preempt;dram
+        std::istringstream ls(line);
+        std::string key, ipcs, ipw, pre, dram;
+        if (!std::getline(ls, key, ';') ||
+            !std::getline(ls, ipcs, ';') ||
+            !std::getline(ls, ipw, ';') ||
+            !std::getline(ls, pre, ';') ||
+            !std::getline(ls, dram, ';')) {
+            continue;
+        }
+        CachedCase c;
+        std::istringstream is(ipcs);
+        std::string tok;
+        while (std::getline(is, tok, ','))
+            c.ipc.push_back(std::strtod(tok.c_str(), nullptr));
+        c.instrPerWatt = std::strtod(ipw.c_str(), nullptr);
+        c.preemptions = std::strtoull(pre.c_str(), nullptr, 10);
+        c.dramPerKcycle = std::strtod(dram.c_str(), nullptr);
+        cache_[key] = std::move(c);
+    }
+}
+
+void
+Runner::appendCache(const std::string &key, const CachedCase &c)
+{
+    if (!opts_.useCache)
+        return;
+    std::ofstream out(cachePath_, std::ios::app);
+    if (!out) {
+        gqos_warn("cannot append to cache '%s'", cachePath_.c_str());
+        return;
+    }
+    out << key << ";";
+    for (std::size_t i = 0; i < c.ipc.size(); ++i)
+        out << (i ? "," : "") << c.ipc[i];
+    out << ";" << c.instrPerWatt << ";" << c.preemptions << ";"
+        << c.dramPerKcycle << ";\n";
+}
+
+Runner::CachedCase
+Runner::simulate(const std::vector<std::string> &kernels,
+                 const std::vector<double> &goal_frac,
+                 const std::string &policy)
+{
+    std::vector<const KernelDesc *> descs;
+    std::vector<QosSpec> specs;
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        descs.push_back(&parboilKernel(kernels[i]));
+        if (goal_frac[i] > 0.0) {
+            specs.push_back(QosSpec::qos(
+                goal_frac[i] * isolatedIpc(kernels[i])));
+        } else {
+            specs.push_back(QosSpec::nonQos());
+        }
+    }
+
+    Gpu gpu(cfg_);
+    gpu.launch(descs);
+    auto pol = makePolicy(policy, specs, cfg_);
+    pol->onLaunch(gpu);
+
+    Cycle warmup = std::min(opts_.warmupCycles,
+                            opts_.cycles / 2);
+    std::vector<std::uint64_t> instr_at_warmup(kernels.size(), 0);
+    for (Cycle c = 0; c < opts_.cycles; ++c) {
+        if (c == warmup) {
+            for (std::size_t i = 0; i < kernels.size(); ++i)
+                instr_at_warmup[i] =
+                    gpu.threadInstrs(static_cast<KernelId>(i));
+        }
+        pol->onCycle(gpu);
+        gpu.step();
+    }
+
+    Cycle window = opts_.cycles - warmup;
+    CachedCase out;
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        std::uint64_t instr =
+            gpu.threadInstrs(static_cast<KernelId>(i)) -
+            instr_at_warmup[i];
+        out.ipc.push_back(static_cast<double>(instr) / window);
+    }
+    out.instrPerWatt = instrPerWatt(gpu);
+    std::uint64_t pre = 0;
+    for (int s = 0; s < gpu.numSms(); ++s)
+        pre += gpu.sm(s).stats().preemptions;
+    out.preemptions = pre;
+    out.dramPerKcycle = 1000.0 *
+        gpu.mem().totalDramAccesses() / std::max<Cycle>(1, gpu.now());
+    simulated_++;
+    if (opts_.verbose) {
+        gqos_inform("simulated %s [%d done]",
+                    caseKey(kernels, goal_frac, policy).c_str(),
+                    simulated_);
+    }
+    return out;
+}
+
+double
+Runner::isolatedIpc(const std::string &kernel)
+{
+    CaseResult r = run({kernel}, {0.0}, "even");
+    return r.kernels[0].ipc;
+}
+
+CaseResult
+Runner::run(const std::vector<std::string> &kernels,
+            const std::vector<double> &goal_frac,
+            const std::string &policy)
+{
+    if (kernels.size() != goal_frac.size())
+        gqos_fatal("kernels/goals size mismatch");
+
+    std::string key = caseKey(kernels, goal_frac, policy);
+    CachedCase c;
+    bool from_cache = false;
+    auto it = cache_.find(key);
+    if (opts_.useCache && it != cache_.end()) {
+        c = it->second;
+        from_cache = true;
+    } else {
+        c = simulate(kernels, goal_frac, policy);
+        cache_[key] = c;
+        appendCache(key, c);
+    }
+
+    CaseResult result;
+    result.fromCache = from_cache;
+    result.instrPerWatt = c.instrPerWatt;
+    result.preemptions = c.preemptions;
+    result.dramPerKcycle = c.dramPerKcycle;
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        KernelResult kr;
+        kr.name = kernels[i];
+        kr.ipc = c.ipc[i];
+        kr.goalFrac = goal_frac[i];
+        kr.isQos = goal_frac[i] > 0.0;
+        // Isolated baseline: identity for the isolated run itself.
+        kr.ipcIsolated = (kernels.size() == 1 && policy == "even")
+            ? kr.ipc
+            : isolatedIpc(kernels[i]);
+        kr.goalIpc = kr.isQos ? goal_frac[i] * kr.ipcIsolated : 0.0;
+        result.kernels.push_back(std::move(kr));
+    }
+    return result;
+}
+
+std::vector<double>
+paperGoalSweep()
+{
+    std::vector<double> goals;
+    for (int pct = 50; pct <= 95; pct += 5)
+        goals.push_back(pct / 100.0);
+    return goals;
+}
+
+std::vector<double>
+paperDualGoalSweep()
+{
+    std::vector<double> goals;
+    for (int pct = 25; pct <= 70; pct += 5)
+        goals.push_back(pct / 100.0);
+    return goals;
+}
+
+} // namespace gqos

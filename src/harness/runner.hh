@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Experiment harness: runs (kernel set, QoS goals, policy) cases,
+ * translates goal fractions into absolute IPC goals against cached
+ * isolated baselines, and memoizes results on disk so the benchmark
+ * binaries for different figures share each other's runs.
+ */
+
+#ifndef GQOS_HARNESS_RUNNER_HH
+#define GQOS_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_config.hh"
+#include "arch/types.hh"
+
+namespace gqos
+{
+
+/** Result for one kernel of a co-run case. */
+struct KernelResult
+{
+    std::string name;
+    double ipc = 0.0;          //!< achieved thread-IPC
+    double ipcIsolated = 0.0;  //!< isolated baseline
+    double goalFrac = 0.0;     //!< requested fraction (0 = non-QoS)
+    double goalIpc = 0.0;      //!< absolute IPC goal (0 = non-QoS)
+    bool isQos = false;
+
+    /**
+     * Measurement tolerance on the reach criterion. The paper
+     * measures over 2M cycles; this reproduction's scaled-down
+     * window (default 200K - warmup) carries about +-1% of
+     * finite-window noise, so a kernel within 0.5% of its goal is
+     * counted as reaching it. Applied identically to every scheme.
+     */
+    static constexpr double reachTolerance = 0.995;
+
+    /** QoS goal reached (QoS kernels only). */
+    bool
+    reached() const
+    {
+        return !isQos || ipc >= goalIpc * reachTolerance;
+    }
+
+    /** Throughput normalized to isolated execution. */
+    double
+    normalizedThroughput() const
+    {
+        return ipcIsolated > 0.0 ? ipc / ipcIsolated : 0.0;
+    }
+
+    /** QoS throughput normalized to the goal (Figure 9). */
+    double
+    normalizedToGoal() const
+    {
+        return goalIpc > 0.0 ? ipc / goalIpc : 0.0;
+    }
+};
+
+/** Result of one co-run case. */
+struct CaseResult
+{
+    std::vector<KernelResult> kernels;
+    double instrPerWatt = 0.0; //!< instruction rate per Watt
+    std::uint64_t preemptions = 0;
+    double dramPerKcycle = 0.0;
+    bool fromCache = false;
+
+    /** All QoS goals of the case reached. */
+    bool allReached() const;
+
+    /** Mean normalized throughput of the non-QoS kernels. */
+    double nonQosThroughput() const;
+
+    /** Mean goal-normalized throughput of the QoS kernels. */
+    double qosOvershoot() const;
+};
+
+/**
+ * Case runner with on-disk memoization.
+ */
+class Runner
+{
+  public:
+    struct Options
+    {
+        Cycle cycles = 200000;        //!< total simulated cycles
+        /**
+         * Cycles excluded from IPC measurement while policies
+         * converge. The paper's 2M-cycle runs make convergence
+         * negligible; at our scaled-down window the warmup must be
+         * excluded explicitly (applied identically to isolated
+         * baselines and co-runs).
+         */
+        Cycle warmupCycles = 50000;
+        std::string configName = "default"; //!< or "large"
+        std::string cacheDir = ".qos_cache";
+        bool useCache = true;
+        bool verbose = false;
+        /** Make partial context switches free (Section 4.8). */
+        bool freePreemption = false;
+    };
+
+    explicit Runner(Options opts);
+
+    /** Isolated (full-GPU, single-kernel) IPC of @p kernel. */
+    double isolatedIpc(const std::string &kernel);
+
+    /**
+     * Run one co-run case.
+     * @param kernels suite kernel names (2 or 3 typically)
+     * @param goal_frac per-kernel goal as a fraction of isolated
+     *                  IPC; 0 marks a non-QoS kernel
+     * @param policy policy name (see makePolicy())
+     */
+    CaseResult run(const std::vector<std::string> &kernels,
+                   const std::vector<double> &goal_frac,
+                   const std::string &policy);
+
+    const GpuConfig &config() const { return cfg_; }
+    const Options &options() const { return opts_; }
+
+    /** Cases simulated (not served from cache) so far. */
+    int simulatedCases() const { return simulated_; }
+
+  private:
+    struct CachedCase
+    {
+        std::vector<double> ipc;
+        double instrPerWatt;
+        std::uint64_t preemptions;
+        double dramPerKcycle;
+    };
+
+    std::string caseKey(const std::vector<std::string> &kernels,
+                        const std::vector<double> &goal_frac,
+                        const std::string &policy) const;
+    CachedCase simulate(const std::vector<std::string> &kernels,
+                        const std::vector<double> &goal_frac,
+                        const std::string &policy);
+    void loadCache();
+    void appendCache(const std::string &key, const CachedCase &c);
+
+    Options opts_;
+    GpuConfig cfg_;
+    std::string cachePath_;
+    std::map<std::string, CachedCase> cache_;
+    int simulated_ = 0;
+};
+
+/** Standard goal sweep of the paper: 50%..95% step 5%. */
+std::vector<double> paperGoalSweep();
+
+/** Two-QoS-kernel sweep: 25%..70% step 5% (both kernels). */
+std::vector<double> paperDualGoalSweep();
+
+} // namespace gqos
+
+#endif // GQOS_HARNESS_RUNNER_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Memory partition: one L2 slice plus its DRAM channel, matching the
+ * GPU organization in the paper's Figure 1 (each memory controller
+ * has its own L2).
+ */
+
+#ifndef GQOS_MEM_MEM_PARTITION_HH
+#define GQOS_MEM_MEM_PARTITION_HH
+
+#include <cstdint>
+
+#include "arch/gpu_config.hh"
+#include "arch/types.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+
+namespace gqos
+{
+
+/**
+ * L2 slice + DRAM channel.
+ */
+class MemPartition
+{
+  public:
+    explicit MemPartition(const GpuConfig &cfg)
+        : l2_(cfg.l2BytesPerPartition, cfg.l2Assoc),
+          dram_(cfg),
+          l2HitLatency_(cfg.l2HitLatency)
+    {}
+
+    /**
+     * Serve a read transaction arriving from the interconnect at
+     * time @p arrival.
+     * @return completion time (data available at the partition).
+     */
+    double
+    read(Addr addr, KernelId kernel, double arrival)
+    {
+        bool hit = l2_.access(addr, kernel);
+        double tag_done = arrival + l2HitLatency_;
+        if (hit)
+            return tag_done;
+        return dram_.serve(addr, tag_done);
+    }
+
+    /**
+     * Serve a store transaction. The L2 is write-back with
+     * write-allocate: a store hitting in L2 is absorbed there; only
+     * L2 misses consume DRAM bandwidth (line fill; the eventual
+     * dirty writeback is folded into the same access).
+     * @return completion time.
+     */
+    double
+    write(Addr addr, KernelId kernel, double arrival)
+    {
+        bool hit = l2_.access(addr, kernel);
+        if (hit)
+            return arrival + l2HitLatency_;
+        return dram_.serve(addr, arrival + l2HitLatency_);
+    }
+
+    /**
+     * Consume DRAM bandwidth without cache interaction; used for
+     * preemption context traffic.
+     * @return completion time.
+     */
+    double
+    rawDram(Addr addr, double arrival)
+    {
+        return dram_.serve(addr, arrival);
+    }
+
+    Cache &l2() { return l2_; }
+    const Cache &l2() const { return l2_; }
+    DramChannel &dram() { return dram_; }
+    const DramChannel &dram() const { return dram_; }
+
+  private:
+    Cache l2_;
+    DramChannel dram_;
+    int l2HitLatency_;
+};
+
+} // namespace gqos
+
+#endif // GQOS_MEM_MEM_PARTITION_HH

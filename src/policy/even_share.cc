@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Even-share policy implementation.
+ */
+
+#include "policy/even_share.hh"
+
+#include <algorithm>
+
+namespace gqos
+{
+
+void
+EvenSharePolicy::onLaunch(Gpu &gpu)
+{
+    gpu.setQuotaGatingAll(false);
+    const GpuConfig &cfg = gpu.config();
+    int nk = gpu.numKernels();
+    int share = cfg.maxThreadsPerSm / nk;
+    for (int s = 0; s < gpu.numSms(); ++s) {
+        for (int k = 0; k < nk; ++k) {
+            const KernelDesc &d = gpu.kernelDesc(k);
+            int t = std::max(1, share / d.threadsPerTb);
+            t = std::min(t, d.maxTbsPerSm(cfg));
+            gpu.setTbTarget(s, k, t);
+        }
+    }
+}
+
+} // namespace gqos

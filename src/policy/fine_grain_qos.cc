@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fine-grained QoS policy implementation.
+ */
+
+#include "policy/fine_grain_qos.hh"
+
+namespace gqos
+{
+
+FineGrainQosPolicy::FineGrainQosPolicy(std::vector<QosSpec> specs,
+                                       FineGrainOptions opts,
+                                       Cycle epoch_length)
+    : quota_(specs, opts.quota, epoch_length),
+      staticAlloc_(specs, opts.staticAlloc),
+      opts_(opts)
+{
+}
+
+void
+FineGrainQosPolicy::onLaunch(Gpu &gpu)
+{
+    staticAlloc_.installInitialTargets(gpu);
+    quota_.onLaunch(gpu);
+}
+
+void
+FineGrainQosPolicy::onCycle(Gpu &gpu)
+{
+    bool new_epoch = quota_.onCycle(gpu);
+    if (new_epoch) {
+        // Use the idle-warp samples of the finished epoch, then
+        // clear them for the next one.
+        staticAlloc_.adjust(gpu, quota_);
+        for (int s = 0; s < gpu.numSms(); ++s)
+            gpu.sm(s).resetIwSamples();
+    }
+}
+
+std::string
+FineGrainQosPolicy::name() const
+{
+    std::string n = toString(quota_.options().scheme);
+    if (quota_.options().timeMux)
+        n += "-time";
+    if (!quota_.options().historyAdjust)
+        n += "-nohist";
+    if (!opts_.staticAlloc.runtimeAdjust)
+        n += "-nostatic";
+    return n;
+}
+
+} // namespace gqos

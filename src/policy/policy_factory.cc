@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Policy factory implementation.
+ */
+
+#include "policy/policy_factory.hh"
+
+#include "common/logging.hh"
+#include "policy/even_share.hh"
+#include "policy/fine_grain_qos.hh"
+#include "policy/spart.hh"
+
+namespace gqos
+{
+
+std::unique_ptr<SharingPolicy>
+makePolicy(const std::string &scheme, std::vector<QosSpec> specs,
+           const GpuConfig &cfg)
+{
+    if (scheme == "even")
+        return std::make_unique<EvenSharePolicy>();
+    if (scheme == "spart") {
+        return std::make_unique<SpartPolicy>(
+            std::move(specs), SpartOptions{}, cfg.epochLength);
+    }
+
+    FineGrainOptions opts;
+    std::string base = scheme;
+    auto strip = [&base](const std::string &suffix) {
+        if (base.size() > suffix.size() &&
+            base.compare(base.size() - suffix.size(),
+                         suffix.size(), suffix) == 0) {
+            base.erase(base.size() - suffix.size());
+            return true;
+        }
+        return false;
+    };
+    if (strip("-nohist"))
+        opts.quota.historyAdjust = false;
+    if (strip("-nostatic"))
+        opts.staticAlloc.runtimeAdjust = false;
+    if (strip("-time"))
+        opts.quota.timeMux = true;
+
+    if (base == "naive")
+        opts.quota.scheme = QuotaScheme::Naive;
+    else if (base == "elastic")
+        opts.quota.scheme = QuotaScheme::Elastic;
+    else if (base == "rollover")
+        opts.quota.scheme = QuotaScheme::Rollover;
+    else
+        gqos_fatal("unknown policy '%s'", scheme.c_str());
+
+    return std::make_unique<FineGrainQosPolicy>(
+        std::move(specs), opts, cfg.epochLength);
+}
+
+std::vector<std::string>
+knownPolicies()
+{
+    return {"rollover", "elastic",  "naive",
+            "rollover-time", "naive-nohist", "rollover-nohist",
+            "rollover-nostatic", "spart", "even"};
+}
+
+} // namespace gqos

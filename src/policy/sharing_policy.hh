@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sharing-policy interface.
+ *
+ * A SharingPolicy owns all resource-management decisions of a
+ * co-run: initial and runtime TB allocation (via the GPU's TB
+ * targets), EWS quota gating, and any periodic control logic. The
+ * harness drives the simulation as:
+ *
+ *     policy.onLaunch(gpu);
+ *     loop { policy.onCycle(gpu); gpu.step(); }
+ *
+ * onCycle() runs before each step and must be cheap in the common
+ * case; epoch-grained work triggers on epoch boundaries internally.
+ */
+
+#ifndef GQOS_POLICY_SHARING_POLICY_HH
+#define GQOS_POLICY_SHARING_POLICY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "qos/qos_spec.hh"
+
+namespace gqos
+{
+
+/**
+ * Abstract base of all sharing policies.
+ */
+class SharingPolicy
+{
+  public:
+    virtual ~SharingPolicy() = default;
+
+    /** Called once after Gpu::launch(), before the first cycle. */
+    virtual void onLaunch(Gpu &gpu) = 0;
+
+    /** Called every cycle before Gpu::step(). */
+    virtual void onCycle(Gpu &gpu) = 0;
+
+    /** Policy name for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace gqos
+
+#endif // GQOS_POLICY_SHARING_POLICY_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Power model implementation.
+ */
+
+#include "power/power_model.hh"
+
+namespace gqos
+{
+
+PowerReport
+computePower(const Gpu &gpu, const PowerParams &p)
+{
+    PowerReport r;
+    const GpuConfig &cfg = gpu.config();
+    r.seconds = static_cast<double>(gpu.now()) /
+                (cfg.coreFreqGhz * 1e9);
+
+    double nj = 0.0;
+    std::uint64_t issued_total = 0;
+    for (int s = 0; s < gpu.numSms(); ++s) {
+        const SmStats &st = gpu.sm(s).stats();
+        std::uint64_t issued = st.issuedAlu + st.issuedSfu +
+            st.issuedSmem + st.issuedLoads + st.issuedStores;
+        issued_total += issued;
+        nj += st.issuedAlu * p.aluOp;
+        nj += st.issuedSfu * p.sfuOp;
+        nj += st.issuedSmem * p.smemOp;
+        nj += issued * p.issueOverhead;
+    }
+
+    const MemSystemStats &ms = gpu.mem().stats();
+    nj += (ms.l1Accesses + ms.stores) * p.l1Access;
+    nj += gpu.mem().totalL2Accesses() * p.l2Access;
+    nj += gpu.mem().totalDramAccesses() * p.dramAccess;
+    nj += gpu.mem().interconnect().stats().flits * p.icntFlit;
+
+    r.dynamicJ = nj * 1e-9;
+    r.staticJ = (p.staticPerSm * gpu.numSms() + p.staticUncore) *
+                r.seconds;
+    return r;
+}
+
+double
+instrPerWatt(const Gpu &gpu, const PowerParams &params)
+{
+    PowerReport r = computePower(gpu, params);
+    double watts = r.avgWatts();
+    if (watts <= 0.0)
+        return 0.0;
+    std::uint64_t instr = 0;
+    for (int k = 0; k < gpu.numKernels(); ++k)
+        instr += gpu.threadInstrs(k);
+    // Instructions per second per Watt (rate-based efficiency).
+    return (static_cast<double>(instr) / r.seconds) / watts;
+}
+
+} // namespace gqos

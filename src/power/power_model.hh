@@ -1,0 +1,73 @@
+/**
+ * @file
+ * GPUWattch-style event-energy power model.
+ *
+ * The paper evaluates energy efficiency (instructions per Watt,
+ * Figure 14) with GPUWattch. This model reproduces the structure
+ * that matters for that comparison: per-event dynamic energy for
+ * issue/execute, caches, interconnect and DRAM, plus per-SM static
+ * (leakage + constant clocking) power. Figure 14 only depends on
+ * relative instructions/Watt between schemes, which is dominated by
+ * utilisation against the constant static power — captured exactly
+ * by this event model. Energy constants are derived from published
+ * GPUWattch breakdowns for a GTX-class part.
+ */
+
+#ifndef GQOS_POWER_POWER_MODEL_HH
+#define GQOS_POWER_POWER_MODEL_HH
+
+#include "gpu/gpu.hh"
+
+namespace gqos
+{
+
+/** Dynamic energy per event (nanojoules) and static power (Watts). */
+struct PowerParams
+{
+    // dynamic energy, nJ per event
+    double aluOp = 0.30;       //!< warp ALU instruction (32 lanes)
+    double sfuOp = 0.90;       //!< warp SFU instruction
+    double smemOp = 0.45;      //!< warp shared-memory instruction
+    double issueOverhead = 0.12; //!< fetch/decode/issue per instr
+    double l1Access = 0.18;    //!< per L1 transaction
+    double l2Access = 0.35;    //!< per L2 transaction
+    double dramAccess = 5.5;   //!< per 128B DRAM line transfer
+    double icntFlit = 0.10;    //!< per interconnect flit
+
+    // static power, Watts
+    double staticPerSm = 1.9;  //!< leakage + clock per SM
+    double staticUncore = 22.0; //!< L2/MC/icnt/PLL constant power
+};
+
+/** Energy/power breakdown of a finished run. */
+struct PowerReport
+{
+    double dynamicJ = 0.0;
+    double staticJ = 0.0;
+    double seconds = 0.0;
+
+    double totalJ() const { return dynamicJ + staticJ; }
+    double
+    avgWatts() const
+    {
+        return seconds > 0.0 ? totalJ() / seconds : 0.0;
+    }
+};
+
+/**
+ * Compute the power report of @p gpu after it has executed
+ * gpu.now() cycles.
+ */
+PowerReport computePower(const Gpu &gpu,
+                         const PowerParams &params = PowerParams());
+
+/**
+ * Instructions per Watt for the whole co-run: total thread
+ * instructions divided by average power.
+ */
+double instrPerWatt(const Gpu &gpu,
+                    const PowerParams &params = PowerParams());
+
+} // namespace gqos
+
+#endif // GQOS_POWER_POWER_MODEL_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Goal-translation implementation.
+ */
+
+#include "qos/goal_translation.hh"
+
+#include "common/logging.hh"
+
+namespace gqos
+{
+
+TranslatedGoal
+translateGoal(const WorkItemRequirement &req, const PcieModel &pcie,
+              const GpuConfig &cfg)
+{
+    if (req.deadlineSeconds <= 0.0)
+        gqos_fatal("work-item deadline must be positive");
+    if (req.instructions <= 0.0)
+        gqos_fatal("work-item instruction count must be positive");
+
+    TranslatedGoal out;
+    double overhead = pcie.transferSeconds(req.inputBytes) +
+                      pcie.transferSeconds(req.outputBytes) +
+                      req.queuingSeconds;
+    out.kernelSeconds = req.deadlineSeconds - overhead;
+    if (out.kernelSeconds <= 0.0) {
+        out.feasible = false;
+        out.ipcGoal = 0.0;
+        return out;
+    }
+    out.ipcGoal = req.instructions /
+                  (cfg.coreFreqGhz * 1e9 * out.kernelSeconds);
+    out.feasible = true;
+    return out;
+}
+
+} // namespace gqos

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Application-level QoS goal translation (Section 3.2).
+ *
+ * "The translation from QoS goals to IPC goals is done in the OS
+ * resident kernel scheduler. The end-to-end application level QoS
+ * requirement includes the pure kernel execution time, and other
+ * latencies such as memory copies, contention over PCIe bus, and
+ * queuing." This module models that calculation for a discrete GPU:
+ * given an end-to-end deadline per work item (e.g. one video
+ * frame), it subtracts the PCIe transfer and queuing components and
+ * converts the remaining kernel-time budget into the architectural
+ * IPC goal the QoS manager enforces.
+ */
+
+#ifndef GQOS_QOS_GOAL_TRANSLATION_HH
+#define GQOS_QOS_GOAL_TRANSLATION_HH
+
+#include <cstdint>
+
+#include "arch/gpu_config.hh"
+
+namespace gqos
+{
+
+/** Host-to-device link model (discrete GPU over PCIe). */
+struct PcieModel
+{
+    double latencyUs = 8.0;       //!< fixed per-transfer latency
+    double bandwidthGBps = 12.0;  //!< sustained PCIe bandwidth
+    /**
+     * Unified-memory mode: the driver maps host memory into the
+     * GPU's address space and transfer time is negligible
+     * (Section 3.2's integrated-GPU case).
+     */
+    bool unified = false;
+
+    /** Transfer time for @p bytes, in seconds. */
+    double
+    transferSeconds(std::uint64_t bytes) const
+    {
+        if (unified)
+            return 0.0;
+        return latencyUs * 1e-6 +
+               static_cast<double>(bytes) /
+                   (bandwidthGBps * 1e9);
+    }
+};
+
+/** One work item's end-to-end requirements. */
+struct WorkItemRequirement
+{
+    double deadlineSeconds;       //!< end-to-end budget per item
+    std::uint64_t inputBytes = 0; //!< host->device per item
+    std::uint64_t outputBytes = 0;//!< device->host per item
+    double queuingSeconds = 0.0;  //!< dispatch/queuing slack
+    double instructions;          //!< thread instructions per item
+};
+
+/** Result of a goal translation. */
+struct TranslatedGoal
+{
+    double kernelSeconds = 0.0;   //!< time left for execution
+    double ipcGoal = 0.0;         //!< architectural goal
+    bool feasible = false;        //!< budget left after overheads
+};
+
+/**
+ * Translate an end-to-end requirement into an IPC goal on the
+ * machine described by @p cfg (Section 3.2's equation:
+ * IPC = instructions / (frequency x kernel execution time)).
+ */
+TranslatedGoal translateGoal(const WorkItemRequirement &req,
+                             const PcieModel &pcie,
+                             const GpuConfig &cfg);
+
+} // namespace gqos
+
+#endif // GQOS_QOS_GOAL_TRANSLATION_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * QoS goal specification.
+ *
+ * Application-level QoS goals (frame rate, data rate) are translated
+ * by the OS-resident kernel scheduler into an IPC goal (Section 3.2
+ * of the paper): IPC = instructions / (frequency x execution time).
+ * Inside the GPU a goal is simply an absolute thread-instruction IPC
+ * the kernel must sustain.
+ */
+
+#ifndef GQOS_QOS_QOS_SPEC_HH
+#define GQOS_QOS_QOS_SPEC_HH
+
+#include <vector>
+
+namespace gqos
+{
+
+/** Per-kernel QoS requirement, indexed by KernelId. */
+struct QosSpec
+{
+    bool hasGoal = false; //!< QoS kernel vs. non-QoS kernel
+    double ipcGoal = 0.0; //!< absolute GPU-wide thread-IPC goal
+
+    static QosSpec
+    qos(double ipc_goal)
+    {
+        return {true, ipc_goal};
+    }
+
+    static QosSpec
+    nonQos()
+    {
+        return {false, 0.0};
+    }
+};
+
+/**
+ * Translate an application-level kernel-rate requirement to an IPC
+ * goal (Section 3.2): @p instr_per_kernel instructions must finish
+ * within @p seconds_per_kernel at @p freq_ghz.
+ */
+inline double
+ipcGoalFromRate(double instr_per_kernel, double seconds_per_kernel,
+                double freq_ghz)
+{
+    return instr_per_kernel /
+           (freq_ghz * 1e9 * seconds_per_kernel);
+}
+
+/** Indices of QoS kernels in @p specs. */
+inline std::vector<int>
+qosKernels(const std::vector<QosSpec> &specs)
+{
+    std::vector<int> out;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (specs[i].hasGoal)
+            out.push_back(static_cast<int>(i));
+    }
+    return out;
+}
+
+/** Indices of non-QoS kernels in @p specs. */
+inline std::vector<int>
+nonQosKernels(const std::vector<QosSpec> &specs)
+{
+    std::vector<int> out;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (!specs[i].hasGoal)
+            out.push_back(static_cast<int>(i));
+    }
+    return out;
+}
+
+} // namespace gqos
+
+#endif // GQOS_QOS_QOS_SPEC_HH

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Static allocator implementation.
+ */
+
+#include "qos/static_alloc.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "qos/quota_controller.hh"
+
+namespace gqos
+{
+
+namespace
+{
+
+/** Restore non-QoS TBs only when QoS history clears this margin. */
+constexpr double restoreMargin = 1.01;
+
+/** Evict for a QoS kernel only when its history is below this. */
+constexpr double evictMargin = 0.999;
+
+/** Restore acts on 1-in-N SMs per epoch (avoids GPU-wide swaps). */
+constexpr int restoreStride = 2;
+
+/** Donations must keep estimated capability this far above goal. */
+constexpr double donateSafety = 1.15;
+
+} // anonymous namespace
+
+StaticAllocator::StaticAllocator(std::vector<QosSpec> specs,
+                                 StaticAllocOptions opts)
+    : specs_(std::move(specs)), opts_(opts)
+{
+    qosIds_ = qosKernels(specs_);
+    nonQosIds_ = nonQosKernels(specs_);
+}
+
+bool
+StaticAllocator::targetsFit(const Gpu &gpu,
+                            const std::vector<int> &targets) const
+{
+    const GpuConfig &cfg = gpu.config();
+    long threads = 0, regs = 0, smem = 0, tbs = 0;
+    for (std::size_t k = 0; k < targets.size(); ++k) {
+        const KernelDesc &d = gpu.kernelDesc(
+            static_cast<KernelId>(k));
+        threads += static_cast<long>(targets[k]) * d.threadsPerTb;
+        regs += static_cast<long>(targets[k]) * d.regsPerTb();
+        smem += static_cast<long>(targets[k]) * d.smemPerTb;
+        tbs += targets[k];
+    }
+    return threads <= cfg.maxThreadsPerSm &&
+           regs <= cfg.regsPerSm() &&
+           smem <= cfg.sharedMemBytes && tbs <= cfg.maxTbsPerSm;
+}
+
+std::vector<int>
+StaticAllocator::initialTargetsForSm(const Gpu &gpu, SmId sm) const
+{
+    const GpuConfig &cfg = gpu.config();
+    int nk = gpu.numKernels();
+    gqos_assert(static_cast<std::size_t>(nk) == specs_.size());
+
+    // Which kernels live on this SM: every QoS kernel, plus the
+    // non-QoS kernel owning this slice of the spatial partition.
+    std::vector<bool> resident(nk, false);
+    for (int k : qosIds_)
+        resident[k] = true;
+    if (!nonQosIds_.empty()) {
+        int num_nq = static_cast<int>(nonQosIds_.size());
+        int sms_per_nq = std::max(1, gpu.numSms() / num_nq);
+        int owner_idx = std::min(sm / sms_per_nq, num_nq - 1);
+        resident[nonQosIds_[owner_idx]] = true;
+    }
+
+    int on_sm = static_cast<int>(
+        std::count(resident.begin(), resident.end(), true));
+    if (on_sm == 0)
+        return std::vector<int>(nk, 0);
+
+    // Equal thread share per resident kernel.
+    int thread_share = cfg.maxThreadsPerSm / on_sm;
+    std::vector<int> targets(nk, 0);
+    for (int k = 0; k < nk; ++k) {
+        if (!resident[k])
+            continue;
+        const KernelDesc &d = gpu.kernelDesc(k);
+        int t = std::max(1, thread_share / d.threadsPerTb);
+        targets[k] = std::min(t, d.maxTbsPerSm(cfg));
+    }
+
+    // Joint feasibility: shrink the largest-footprint kernel until
+    // the combination fits (shared memory or registers can exceed
+    // the equal-thread split).
+    while (!targetsFit(gpu, targets)) {
+        int worst = -1;
+        long worst_cost = -1;
+        for (int k = 0; k < nk; ++k) {
+            if (targets[k] <= 1)
+                continue;
+            const KernelDesc &d = gpu.kernelDesc(k);
+            long cost = static_cast<long>(targets[k]) *
+                        (d.regsPerTb() + d.smemPerTb +
+                         d.threadsPerTb);
+            if (cost > worst_cost) {
+                worst_cost = cost;
+                worst = k;
+            }
+        }
+        if (worst < 0)
+            break; // all at 1 TB: dispatcher enforces real limits
+        targets[worst]--;
+    }
+    return targets;
+}
+
+void
+StaticAllocator::installInitialTargets(Gpu &gpu)
+{
+    initialTargets_.clear();
+    for (int s = 0; s < gpu.numSms(); ++s) {
+        auto targets = initialTargetsForSm(gpu, s);
+        for (int k = 0; k < gpu.numKernels(); ++k)
+            gpu.setTbTarget(s, k, targets[k]);
+        initialTargets_.push_back(std::move(targets));
+    }
+}
+
+int
+StaticAllocator::pickVictim(const Gpu &gpu, SmId sm,
+                            KernelId beneficiary,
+                            const QuotaController &quota) const
+{
+    const SmCore &core = gpu.sm(sm);
+
+    // Condition 1: a non-QoS kernel with TBs on this SM (prefer the
+    // one with the most).
+    int best = -1, best_tbs = 0;
+    for (int j : nonQosIds_) {
+        int tbs = core.residentTbs(j);
+        if (tbs > best_tbs && gpu.tbTarget(sm, j) > 0) {
+            best = j;
+            best_tbs = tbs;
+        }
+    }
+    if (best >= 0)
+        return best;
+
+    return pickQosVictimExcept(gpu, sm, beneficiary, quota);
+}
+
+int
+StaticAllocator::pickQosVictim(const Gpu &gpu, SmId sm,
+                               const QuotaController &quota) const
+{
+    // Restore donations come only from QoS kernels whose *estimated
+    // capability* carries the goal even after losing a TB. A
+    // quota-throttled kernel's epoch IPC equals its goal by
+    // construction, so capability is reconstructed from the idle-
+    // warp fraction (gated ready warps are idle capacity):
+    //     capability ~= ipcEpoch / (1 - idleFraction).
+    // The plain IPC-margin condition (3) is deliberately not used
+    // here -- it fires before throttling even starts and would trim
+    // the kernel's TLP down to its goal rate, destroying the slack
+    // the refill mechanism needs.
+    const SmCore &core = gpu.sm(sm);
+    for (int k : qosIds_) {
+        if (core.residentTbs(k) == 0 || gpu.tbTarget(sm, k) == 0)
+            continue;
+        if (quota.lastLeftover(sm, k) > 0.0)
+            continue; // capability-limited, not throttled: no slack
+        double gated = core.gatedFraction(k);
+        if (gated < 0.05)
+            continue; // barely throttled: no real slack
+        if (gated > 0.9)
+            gated = 0.9;
+        double capability = quota.ipcEpoch(k) / (1.0 - gated);
+        int total = gpu.totalResidentTbs(k);
+        // Up to numSms/restoreStride SMs donate in the same epoch;
+        // the margin must cover all of them.
+        double donated = static_cast<double>(gpu.numSms()) /
+                         restoreStride;
+        if (total > 1 && donated < total &&
+            capability * (1.0 - donated / total) >
+                specs_[k].ipcGoal * donateSafety) {
+            return k;
+        }
+    }
+    return -1;
+}
+
+int
+StaticAllocator::pickQosVictimExcept(
+    const Gpu &gpu, SmId sm, KernelId except,
+    const QuotaController &quota) const
+{
+    const SmCore &core = gpu.sm(sm);
+    for (int k : qosIds_) {
+        if (k == except || core.residentTbs(k) == 0 ||
+            gpu.tbTarget(sm, k) == 0) {
+            continue;
+        }
+        const KernelDesc &d = gpu.kernelDesc(k);
+        // Condition 2: at least n+1 = 2 idle TBs.
+        double idle_tbs = core.iwAverage(k) / d.warpsPerTb();
+        if (idle_tbs >= 2.0)
+            return k;
+        // Condition 3: enough IPC margin to lose TBs. The kernel
+        // must actually be quota-throttled (its epoch IPC says
+        // nothing about capability otherwise), and its estimated
+        // capability must carry the goal even if every SM takes a
+        // TB in the same epoch.
+        if (quota.lastLeftover(sm, k) > 0.0)
+            continue;
+        double gated = std::min(core.gatedFraction(k), 0.9);
+        if (gated < 0.05)
+            continue;
+        double capability = quota.ipcEpoch(k) / (1.0 - gated);
+        int total = gpu.totalResidentTbs(k);
+        double margin = 1.0 -
+            static_cast<double>(gpu.numSms()) / std::max(1, total);
+        if (margin > 0.0 &&
+            capability * margin > specs_[k].ipcGoal * donateSafety) {
+            return k;
+        }
+    }
+    return -1;
+}
+
+void
+StaticAllocator::adjust(Gpu &gpu, const QuotaController &quota)
+{
+    if (!opts_.runtimeAdjust || qosIds_.empty())
+        return;
+
+    const GpuConfig &cfg = gpu.config();
+    // Hysteresis around the goal so quota-throttled QoS kernels
+    // hovering at their goal do not flip between evicting and
+    // restoring every epoch.
+    if (underStreak_.size() !=
+        static_cast<std::size_t>(gpu.numKernels())) {
+        underStreak_.assign(gpu.numKernels(), 0);
+        prevIpcEpoch_.assign(gpu.numKernels(), 0.0);
+        underNow_.assign(gpu.numKernels(), false);
+    }
+    bool all_qos_met = true;
+    bool any_qos_under = false;
+    for (int k : qosIds_) {
+        double hist = quota.ipcHistory(k);
+        double goal = specs_[k].ipcGoal;
+        // Restoring requires both the lifetime average and the
+        // current epoch to clear the goal, otherwise the lagging
+        // history keeps donating after the kernel already dipped.
+        if (hist < goal * restoreMargin ||
+            quota.ipcEpoch(k) < goal) {
+            all_qos_met = false;
+        }
+        // Evict either on the (slow) lifetime metric or when the
+        // recent (two-epoch) average is clearly under, so restore
+        // overshoot is corrected long before the lifetime average
+        // reacts. A streak counter alone misses alternating
+        // over/under oscillation.
+        double recent = (quota.ipcEpoch(k) + prevIpcEpoch_[k]) / 2.0;
+        if (quota.ipcEpoch(k) < goal * 0.99)
+            underStreak_[k]++;
+        else
+            underStreak_[k] = 0;
+        if (hist < goal * evictMargin || underStreak_[k] >= 2 ||
+            recent < goal * 0.99) {
+            any_qos_under = true;
+            underNow_[k] = true;
+        } else {
+            underNow_[k] = false;
+        }
+        prevIpcEpoch_[k] = quota.ipcEpoch(k);
+    }
+
+    for (int s = 0; s < gpu.numSms(); ++s) {
+        SmCore &core = gpu.sm(s);
+        // Section 3.6: no swaps while a preemption is pending.
+        if (core.preemptionPending())
+            continue;
+
+        // Restore path: QoS kernels should hold "just enough"
+        // resources. Once every QoS goal is met, give previously
+        // evicted non-QoS TBs back (up to the symmetric initial
+        // share), taking the room from a QoS kernel with TLP or
+        // IPC margin (victim conditions 2/3). Staggered over SMs
+        // so the whole GPU does not swap in the same epoch.
+        if (all_qos_met) {
+            if ((s + quota.epochIndex()) % restoreStride != 0)
+                continue;
+            for (int j : nonQosIds_) {
+                int target = gpu.tbTarget(s, j);
+                // The ceiling is full single-kernel occupancy; the
+                // capability gate on the donor is what protects the
+                // QoS kernels, so non-QoS kernels may harvest all
+                // idle capacity, not just their initial share.
+                if (target >=
+                    gpu.kernelDesc(j).maxTbsPerSm(cfg)) {
+                    continue;
+                }
+                gpu.setTbTarget(s, j, target + 1);
+                if (!core.canAccept(j)) {
+                    int victim = pickQosVictim(gpu, s, quota);
+                    if (victim >= 0) {
+                        gpu.setTbTarget(s, victim,
+                                        gpu.tbTarget(s, victim) - 1);
+                    } else {
+                        gpu.setTbTarget(s, j, target); // revert
+                        continue;
+                    }
+                }
+                break; // one adjustment per SM per epoch
+            }
+            continue;
+        }
+
+        if (!any_qos_under)
+            continue; // inside the hysteresis band: hold steady
+
+        // Rotate the processing order so no QoS kernel permanently
+        // shadows another when victims are scarce.
+        int nq = static_cast<int>(qosIds_.size());
+        bool adjusted = false;
+        for (int i = 0; i < nq && !adjusted; ++i) {
+            int k = qosIds_[(i + quota.epochIndex()) % nq];
+            if (!underNow_[k])
+                continue; // goal met, no more TLP needed
+            const KernelDesc &d = gpu.kernelDesc(k);
+            int target = gpu.tbTarget(s, k);
+
+            if (core.residentTbs(k) < target) {
+                // Growth granted earlier is still unfulfilled. If
+                // the dispatcher cannot fit the TB, keep evicting
+                // victims one at a time until it can.
+                if (!core.canAccept(k)) {
+                    int victim = pickVictim(gpu, s, k, quota);
+                    if (victim >= 0) {
+                        gpu.setTbTarget(s, victim,
+                                        gpu.tbTarget(s, victim) - 1);
+                        adjusted = true;
+                    }
+                }
+                continue; // else: resources free; dispatcher fills
+            }
+
+            if (target >= d.maxTbsPerSm(cfg))
+                continue;
+            double idle_tbs = core.iwAverage(k) / d.warpsPerTb();
+            if (idle_tbs > 1.0)
+                continue; // has spare TLP already
+
+            // Grant one more TB; free resources are used directly,
+            // otherwise a victim TB is evicted to make room.
+            if (core.canAccept(k)) {
+                gpu.setTbTarget(s, k, target + 1);
+                adjusted = true;
+            } else {
+                int victim = pickVictim(gpu, s, k, quota);
+                if (victim >= 0) {
+                    gpu.setTbTarget(s, victim,
+                                    gpu.tbTarget(s, victim) - 1);
+                    gpu.setTbTarget(s, k, target + 1);
+                    adjusted = true;
+                }
+            }
+        }
+    }
+}
+
+} // namespace gqos

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Static resource (thread-block) allocation and runtime adjustment
+ * (Section 3.6 of the paper).
+ *
+ * Initial symmetric allocation: QoS kernels are spread over every
+ * SM; non-QoS kernels spatially partition the SMs among themselves;
+ * kernels co-resident on an SM receive equal thread shares. At run
+ * time, idle-warp (IW) sampling identifies "idle TBs"; an under-goal
+ * QoS kernel with at most one idle TB gains a TB, evicting a victim
+ * chosen by the paper's three conditions.
+ */
+
+#ifndef GQOS_QOS_STATIC_ALLOC_HH
+#define GQOS_QOS_STATIC_ALLOC_HH
+
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "qos/qos_spec.hh"
+
+namespace gqos
+{
+
+class QuotaController;
+
+/** Options of the static allocator. */
+struct StaticAllocOptions
+{
+    /** Enable the runtime TB adjustment (ablation toggle). */
+    bool runtimeAdjust = true;
+};
+
+/**
+ * TB-allocation policy for fine-grained sharing.
+ */
+class StaticAllocator
+{
+  public:
+    StaticAllocator(std::vector<QosSpec> specs,
+                    StaticAllocOptions opts = {});
+
+    /** Compute and install the initial symmetric TB targets. */
+    void installInitialTargets(Gpu &gpu);
+
+    /**
+     * Epoch-boundary runtime adjustment using the idle-warp samples
+     * of the finished epoch and the QoS bookkeeping of @p quota.
+     * Call before the SMs' IW samples are reset.
+     */
+    void adjust(Gpu &gpu, const QuotaController &quota);
+
+    /**
+     * Compute the symmetric initial target of every kernel on SM
+     * @p sm (exposed for tests).
+     */
+    std::vector<int> initialTargetsForSm(const Gpu &gpu,
+                                         SmId sm) const;
+
+  private:
+    bool targetsFit(const Gpu &gpu, const std::vector<int> &targets)
+        const;
+    int pickVictim(const Gpu &gpu, SmId sm, KernelId beneficiary,
+                   const QuotaController &quota) const;
+    int pickQosVictim(const Gpu &gpu, SmId sm,
+                      const QuotaController &quota) const;
+    int pickQosVictimExcept(const Gpu &gpu, SmId sm,
+                            KernelId except,
+                            const QuotaController &quota) const;
+
+    std::vector<QosSpec> specs_;
+    StaticAllocOptions opts_;
+    std::vector<int> qosIds_;
+    std::vector<int> nonQosIds_;
+    /** Initial symmetric targets: the restore ceiling for non-QoS
+     *  kernels once all QoS goals are met ("just enough" policy). */
+    std::vector<std::vector<int>> initialTargets_;
+    /** Consecutive clearly-under-goal epochs per kernel. */
+    std::vector<int> underStreak_;
+    /** Previous epoch's IPC (oscillation detection). */
+    std::vector<double> prevIpcEpoch_;
+    /** Kernels currently judged under goal. */
+    std::vector<bool> underNow_;
+};
+
+} // namespace gqos
+
+#endif // GQOS_QOS_STATIC_ALLOC_HH

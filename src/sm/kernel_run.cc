@@ -1,0 +1,79 @@
+/**
+ * @file
+ * KernelRun precomputation.
+ */
+
+#include "sm/kernel_run.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace gqos
+{
+
+KernelRun::KernelRun(const KernelDesc &desc, KernelId id,
+                     const GpuConfig &cfg)
+    : desc_(&desc), id_(id), seed_(mixSeed(cfg.seed, desc.seed, id))
+{
+    desc.validate();
+    gqos_assert(id >= 0 && id < maxKernels);
+
+    auto bounds = phaseBoundaries(desc);
+    phases_.reserve(desc.phases.size());
+    phaseEnd_.reserve(desc.phases.size());
+    for (std::size_t i = 0; i < desc.phases.size(); ++i) {
+        const KernelPhase &p = desc.phases[i];
+        PhaseRt rt;
+        rt.memThresh = p.memRatio;
+        rt.sharedThresh = p.memRatio + p.sharedRatio;
+        rt.sfuThresh = p.memRatio + p.sharedRatio + p.sfuRatio;
+        rt.storeFraction = p.storeFraction;
+        rt.hotFraction = p.hotFraction;
+        rt.hotLines = p.hotLines;
+        rt.aluLatency = p.aluLatency;
+        rt.lanes = static_cast<int>(std::lround(p.activeLanes));
+        if (rt.lanes < 1)
+            rt.lanes = 1;
+        double trans = p.avgTransPerMem;
+        rt.transBase = static_cast<int>(trans);
+        rt.transFrac = trans - rt.transBase;
+        rt.smemLatency = static_cast<int>(
+            std::lround(cfg.smemLatency * p.smemConflict));
+        phases_.push_back(rt);
+        phaseEnd_.push_back(static_cast<std::uint64_t>(
+            std::llround(bounds[i] * desc.warpInstrPerTb)));
+    }
+    phaseEnd_.back() = desc.warpInstrPerTb;
+
+    // Each kernel gets a disjoint 1TB slice of the device address
+    // space; hot data at the bottom, cold streaming data above.
+    hotBase_ = (static_cast<Addr>(id) + 1) << 40;
+    coldBase_ = hotBase_ + (static_cast<Addr>(1) << 36);
+}
+
+std::uint64_t
+KernelRun::warpSeed(std::uint64_t tb_seq, int warp_in_tb) const
+{
+    return mixSeed(seed_, tb_seq,
+                   static_cast<std::uint64_t>(warp_in_tb));
+}
+
+double
+KernelRun::tbIntensity(std::uint64_t tb_seq) const
+{
+    double var = desc_->tbVariance;
+    if (var <= 0.0)
+        return 1.0;
+    // Groups of 16 consecutive TBs of one launch share a factor, so
+    // the co-resident TB mix (a window of the grid) shifts epoch by
+    // epoch. Using the position within the launch keeps re-executed
+    // launches identical, as re-running a benchmark would be.
+    std::uint64_t group = tb_seq / 16;
+    std::uint64_t h = mixSeed(seed_ ^ 0x9d2c5680u, group);
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return 1.0 - var + 2.0 * var * u;
+}
+
+} // namespace gqos

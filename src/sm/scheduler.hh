@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-warp-scheduler state and the GTO/LRR pick policies.
+ *
+ * Each SM has several warp schedulers; warp slot w belongs to
+ * scheduler (w % numSchedulers) with local lane (w / numSchedulers),
+ * modelling the hardware's equal distribution of warps to
+ * schedulers. All sets are 64-bit masks over local lanes.
+ */
+
+#ifndef GQOS_SM_SCHEDULER_HH
+#define GQOS_SM_SCHEDULER_HH
+
+#include <cstdint>
+
+#include "arch/gpu_config.hh"
+#include "arch/types.hh"
+#include "common/bitops.hh"
+
+namespace gqos
+{
+
+/**
+ * State of one warp scheduler (one issue port).
+ */
+struct SchedulerState
+{
+    std::uint64_t ready = 0;     //!< lanes with an issuable warp
+    std::uint64_t loadMask = 0;  //!< lanes whose next instr is a load
+    std::uint64_t storeMask = 0; //!< lanes whose next instr is a store
+    /** Lanes belonging to each kernel (for EWS quota gating). */
+    std::uint64_t kernelMask[maxKernels] = {};
+    /**
+     * Occupied lanes in oldest-first dispatch order. Rebuilt only
+     * when warps enter or leave the scheduler, so the per-cycle GTO
+     * pick is a linear walk with O(1) bit tests instead of random
+     * age loads.
+     */
+    std::uint8_t ageOrder[64] = {};
+    int ageCount = 0;
+    int lastIssued = -1;         //!< lane of last issue (GTO greedy)
+};
+
+/**
+ * Pick a lane from @p candidates using greedy-then-oldest.
+ *
+ * @param sched scheduler state (greedy hint + age order)
+ * @param candidates non-zero mask of issuable lanes
+ * @return chosen lane, or -1 if no candidate is in the age order
+ */
+inline int
+pickGto(const SchedulerState &sched, std::uint64_t candidates)
+{
+    if (sched.lastIssued >= 0 &&
+        testBit(candidates, sched.lastIssued)) {
+        return sched.lastIssued;
+    }
+    for (int i = 0; i < sched.ageCount; ++i) {
+        int lane = sched.ageOrder[i];
+        if (testBit(candidates, lane))
+            return lane;
+    }
+    return -1;
+}
+
+/**
+ * Pick a lane using loose round-robin: the first candidate after the
+ * previously issued lane.
+ */
+inline int
+pickLrr(const SchedulerState &sched, std::uint64_t candidates)
+{
+    int start = sched.lastIssued + 1;
+    if (start >= 64)
+        start = 0;
+    std::uint64_t rotated = (candidates >> start) |
+        (start ? (candidates << (64 - start)) : 0);
+    if (!rotated)
+        return -1;
+    int off = firstSetBit(rotated);
+    return (start + off) & 63;
+}
+
+} // namespace gqos
+
+#endif // GQOS_SM_SCHEDULER_HH

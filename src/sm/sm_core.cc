@@ -1,0 +1,779 @@
+/**
+ * @file
+ * SM core implementation.
+ */
+
+#include "sm/sm_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gqos
+{
+
+namespace
+{
+
+/** Max memory transactions one warp issues per cycle (LSU width). */
+constexpr int lsuBurst = 4;
+
+/** Store issue is throttled once the icnt backlog exceeds this. */
+constexpr double storeThrottleBacklog = 256.0;
+
+/** TB dispatch-to-first-issue latency. */
+constexpr Cycle tbDispatchLatency = 30;
+
+/** MSHR credits kept reachable per co-resident kernel. */
+constexpr int mshrReserve = 2;
+
+} // anonymous namespace
+
+SmCore::SmCore(const GpuConfig &cfg, SmId id, MemSystem &mem)
+    : id_(id),
+      numScheds_(cfg.warpSchedulersPerSm),
+      maxWarps_(cfg.maxWarpsPerSm()),
+      maxThreads_(cfg.maxThreadsPerSm),
+      maxTbSlots_(cfg.maxTbsPerSm),
+      regsTotal_(cfg.regsPerSm()),
+      smemTotal_(cfg.sharedMemBytes),
+      lsuPorts_(cfg.lsuPortsPerSm),
+      mshrMax_(cfg.l1Mshrs),
+      sfuLatency_(cfg.sfuLatency),
+      drainCycles_(cfg.preemptDrainCycles),
+      chargePreemptTraffic_(cfg.chargePreemptTraffic),
+      policy_(cfg.schedPolicy),
+      mem_(&mem),
+      warps_(cfg.maxWarpsPerSm()),
+      tbs_(cfg.maxTbsPerSm),
+      scheds_(cfg.warpSchedulersPerSm),
+      wakeRing_(wakeRingSize_),
+      wakeToken_(cfg.maxWarpsPerSm(), 0),
+      mshrFree_(cfg.l1Mshrs)
+{
+}
+
+void
+SmCore::bindKernels(const std::vector<const KernelRun *> &runs)
+{
+    gqos_assert(static_cast<int>(runs.size()) <= maxKernels);
+    gqos_assert(totalResidentTbs() == 0);
+    runs_ = runs;
+    for (auto &kc : kernels_)
+        kc = KernelCtx();
+    for (std::size_t k = 0; k < runs_.size(); ++k) {
+        gqos_assert(runs_[k] != nullptr);
+        gqos_assert(runs_[k]->id() == static_cast<KernelId>(k));
+        kernels_[k].run = runs_[k];
+    }
+}
+
+// ---------------------------------------------------------------
+// TB lifecycle
+// ---------------------------------------------------------------
+
+bool
+SmCore::canAccept(KernelId k) const
+{
+    if (k < 0 || k >= static_cast<int>(runs_.size()))
+        return false;
+    const KernelDesc &d = runs_[k]->desc();
+    if (tbSlotsUsed_ >= maxTbSlots_)
+        return false;
+    if (threadsUsed_ + d.threadsPerTb > maxThreads_)
+        return false;
+    if (regsUsed_ + d.regsPerTb() > regsTotal_)
+        return false;
+    if (smemUsed_ + d.smemPerTb > smemTotal_)
+        return false;
+    return true;
+}
+
+bool
+SmCore::dispatchTb(KernelId k, std::uint64_t tb_seq,
+                   std::uint64_t launch_pos, Cycle now)
+{
+    if (!canAccept(k))
+        return false;
+    const KernelRun &run = *runs_[k];
+    const KernelDesc &d = run.desc();
+    int warps_needed = d.warpsPerTb();
+
+    int tb_slot = -1;
+    for (int i = 0; i < maxTbSlots_; ++i) {
+        if (!tbs_[i].valid) {
+            tb_slot = i;
+            break;
+        }
+    }
+    gqos_assert(tb_slot >= 0);
+
+    TbSlot &tb = tbs_[tb_slot];
+    tb.warpSlots.clear();
+    tb.kernel = k;
+    tb.warpsTotal = static_cast<std::int16_t>(warps_needed);
+    tb.warpsFinished = 0;
+    tb.tbSeq = tb_seq;
+    tb.valid = true;
+    tb.draining = false;
+
+    int found = 0;
+    for (int wslot = 0; wslot < maxWarps_ && found < warps_needed;
+         ++wslot) {
+        Warp &w = warps_[wslot];
+        if (w.state != WarpState::Invalid)
+            continue;
+        tb.warpSlots.push_back(static_cast<std::int16_t>(wslot));
+        w = Warp();
+        w.kernel = k;
+        w.tbSlot = static_cast<std::int16_t>(tb_slot);
+        w.age = tb_seq * 64 + found;
+        w.rng.reseed(run.warpSeed(launch_pos, found));
+        w.intensity =
+            static_cast<float>(run.tbIntensity(launch_pos));
+        std::uint64_t sid = (tb_seq *
+            static_cast<std::uint64_t>(warps_needed) + found) &
+            0xFFFFull;
+        w.coldBase = run.coldBase() + (sid << 20);
+        w.state = WarpState::Live;
+        generateNext(w, run);
+        w.readyAt = now + tbDispatchLatency;
+        SchedulerState &sc = scheds_[schedOf(wslot)];
+        sc.kernelMask[k] = setBit(sc.kernelMask[k], laneOf(wslot));
+        scheduleWake(wslot, w.readyAt);
+        found++;
+    }
+    gqos_assert(found == warps_needed);
+
+    threadsUsed_ += d.threadsPerTb;
+    regsUsed_ += d.regsPerTb();
+    smemUsed_ += d.smemPerTb;
+    tbSlotsUsed_++;
+    kernels_[k].residentTbs++;
+    kernels_[k].residentWarps += warps_needed;
+    for (int s = 0; s < numScheds_; ++s)
+        rebuildAgeOrder(s);
+    return true;
+}
+
+bool
+SmCore::startPreemption(KernelId k, Cycle now)
+{
+    int victim = -1;
+    std::uint64_t newest = 0;
+    for (int i = 0; i < maxTbSlots_; ++i) {
+        const TbSlot &tb = tbs_[i];
+        if (tb.valid && !tb.draining && tb.kernel == k &&
+            (victim < 0 || tb.tbSeq > newest)) {
+            victim = i;
+            newest = tb.tbSeq;
+        }
+    }
+    if (victim < 0)
+        return false;
+
+    TbSlot &tb = tbs_[victim];
+    tb.draining = true;
+    for (int wslot : tb.warpSlots) {
+        Warp &w = warps_[wslot];
+        if (w.state == WarpState::Live)
+            w.state = WarpState::Draining;
+        SchedulerState &sc = scheds_[schedOf(wslot)];
+        int lane = laneOf(wslot);
+        sc.ready = clearBit(sc.ready, lane);
+        sc.loadMask = clearBit(sc.loadMask, lane);
+        sc.storeMask = clearBit(sc.storeMask, lane);
+    }
+
+    Cycle finish = now + drainCycles_;
+    if (chargePreemptTraffic_) {
+        const KernelDesc &d = runs_[k]->desc();
+        Cycle t = mem_->injectContextTraffic(
+            id_, d.contextBytesPerTb(), now);
+        if (t > finish)
+            finish = t;
+    }
+    drains_.push_back({finish, static_cast<std::int16_t>(victim)});
+    stats_.preemptions++;
+    return true;
+}
+
+void
+SmCore::preemptAll(Cycle now)
+{
+    for (int i = 0; i < maxTbSlots_; ++i) {
+        if (tbs_[i].valid && !tbs_[i].draining)
+            startPreemption(tbs_[i].kernel, now);
+    }
+}
+
+void
+SmCore::processDrains(Cycle now)
+{
+    for (std::size_t i = 0; i < drains_.size();) {
+        if (drains_[i].finishAt <= now) {
+            int slot = drains_[i].slot;
+            drains_[i] = drains_.back();
+            drains_.pop_back();
+            freeTb(slot, TbExit::Preempted, now);
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+SmCore::freeTb(int tb_slot, TbExit exit, Cycle now)
+{
+    TbSlot &tb = tbs_[tb_slot];
+    gqos_assert(tb.valid);
+    KernelId k = tb.kernel;
+    KernelCtx &kc = kernels_[k];
+    const KernelDesc &d = kc.run->desc();
+
+    for (int wslot : tb.warpSlots) {
+        Warp &w = warps_[wslot];
+        w.state = WarpState::Invalid;
+        wakeToken_[wslot]++; // invalidate outstanding wake entries
+        SchedulerState &sc = scheds_[schedOf(wslot)];
+        int lane = laneOf(wslot);
+        sc.ready = clearBit(sc.ready, lane);
+        sc.loadMask = clearBit(sc.loadMask, lane);
+        sc.storeMask = clearBit(sc.storeMask, lane);
+        sc.kernelMask[k] = clearBit(sc.kernelMask[k], lane);
+    }
+    tb.valid = false;
+    tb.draining = false;
+
+    threadsUsed_ -= d.threadsPerTb;
+    regsUsed_ -= d.regsPerTb();
+    smemUsed_ -= d.smemPerTb;
+    tbSlotsUsed_--;
+    kc.residentTbs--;
+    kc.residentWarps -= d.warpsPerTb();
+    gqos_assert(kc.residentTbs >= 0 && threadsUsed_ >= 0);
+
+    for (int s = 0; s < numScheds_; ++s)
+        rebuildAgeOrder(s);
+
+    if (kc.residentTbs == 0)
+        mem_->invalidateKernelL1(id_, k);
+
+    if (tbEvent_)
+        tbEvent_(id_, k, exit);
+    (void)now;
+}
+
+// ---------------------------------------------------------------
+// Wake machinery
+// ---------------------------------------------------------------
+
+void
+SmCore::rebuildAgeOrder(int sched)
+{
+    SchedulerState &sc = scheds_[sched];
+    sc.ageCount = 0;
+    for (int lane = 0; lane < maxWarps_ / numScheds_; ++lane) {
+        int slot = slotOf(sched, lane);
+        if (warps_[slot].state != WarpState::Invalid)
+            sc.ageOrder[sc.ageCount++] =
+                static_cast<std::uint8_t>(lane);
+    }
+    // Insertion sort by warp age (oldest first); ageCount <= 64 and
+    // rebuilds only happen on TB dispatch/free.
+    for (int i = 1; i < sc.ageCount; ++i) {
+        std::uint8_t lane = sc.ageOrder[i];
+        std::uint64_t a = warps_[slotOf(sched, lane)].age;
+        int j = i - 1;
+        while (j >= 0 &&
+               warps_[slotOf(sched, sc.ageOrder[j])].age > a) {
+            sc.ageOrder[j + 1] = sc.ageOrder[j];
+            j--;
+        }
+        sc.ageOrder[j + 1] = lane;
+    }
+}
+
+void
+SmCore::scheduleWake(int warp_slot, Cycle at)
+{
+    std::uint32_t token = ++wakeToken_[warp_slot];
+    wakeRing_[at & (wakeRingSize_ - 1)].push_back(
+        {static_cast<std::uint16_t>(warp_slot), token});
+}
+
+void
+SmCore::processWakes(Cycle now)
+{
+    auto &bucket = wakeRing_[now & (wakeRingSize_ - 1)];
+    if (bucket.empty())
+        return;
+    // A wake scheduled more than one ring revolution ahead would
+    // alias; scheduleWakeClamped() below prevents that.
+    for (const WakeEntry &e : bucket) {
+        if (wakeToken_[e.warp] != e.token)
+            continue;
+        Warp &w = warps_[e.warp];
+        if (w.state != WarpState::Live)
+            continue;
+        if (w.readyAt <= now) {
+            markReady(e.warp);
+        } else {
+            Cycle at = w.readyAt;
+            if (at - now >= wakeRingSize_)
+                at = now + wakeRingSize_ - 1;
+            scheduleWake(e.warp, at);
+        }
+    }
+    bucket.clear();
+}
+
+void
+SmCore::markReady(int warp_slot)
+{
+    SchedulerState &sc = scheds_[schedOf(warp_slot)];
+    sc.ready = setBit(sc.ready, laneOf(warp_slot));
+    refreshInstrMasks(warp_slot);
+}
+
+void
+SmCore::clearSchedBits(int warp_slot)
+{
+    SchedulerState &sc = scheds_[schedOf(warp_slot)];
+    int lane = laneOf(warp_slot);
+    sc.ready = clearBit(sc.ready, lane);
+    sc.loadMask = clearBit(sc.loadMask, lane);
+    sc.storeMask = clearBit(sc.storeMask, lane);
+}
+
+void
+SmCore::refreshInstrMasks(int warp_slot)
+{
+    SchedulerState &sc = scheds_[schedOf(warp_slot)];
+    int lane = laneOf(warp_slot);
+    const Warp &w = warps_[warp_slot];
+    if (w.next.cls == InstrClass::GlobalLoad) {
+        sc.loadMask = setBit(sc.loadMask, lane);
+        sc.storeMask = clearBit(sc.storeMask, lane);
+    } else if (w.next.cls == InstrClass::GlobalStore) {
+        sc.storeMask = setBit(sc.storeMask, lane);
+        sc.loadMask = clearBit(sc.loadMask, lane);
+    } else {
+        sc.loadMask = clearBit(sc.loadMask, lane);
+        sc.storeMask = clearBit(sc.storeMask, lane);
+    }
+}
+
+// ---------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------
+
+void
+SmCore::generateNext(Warp &w, const KernelRun &run)
+{
+    while (w.phaseIdx + 1 < run.numPhases() &&
+           w.instrIdx >= run.phaseEnd(w.phaseIdx)) {
+        w.phaseIdx++;
+    }
+    const PhaseRt &ph = run.phase(w.phaseIdx);
+    NextInstr ni;
+    ni.lanes = static_cast<std::uint8_t>(ph.lanes);
+    // Grid-position intensity scales the memory ratio and the ALU
+    // dependency latency (KernelDesc::tbVariance).
+    double mem_thresh = ph.memThresh * w.intensity;
+    if (mem_thresh > 0.95)
+        mem_thresh = 0.95;
+    double shift = mem_thresh - ph.memThresh;
+    double u = w.rng.uniform();
+    if (u < mem_thresh) {
+        bool store = w.rng.uniform() < ph.storeFraction;
+        int trans = ph.transBase +
+            (w.rng.uniform() < ph.transFrac ? 1 : 0);
+        ni.cls = store ? InstrClass::GlobalStore
+                       : InstrClass::GlobalLoad;
+        ni.transLeft = static_cast<std::uint8_t>(trans);
+        ni.latency = 1;
+    } else if (u < ph.sharedThresh + shift) {
+        ni.cls = InstrClass::SharedMem;
+        ni.latency = static_cast<std::uint16_t>(ph.smemLatency);
+    } else if (u < ph.sfuThresh + shift) {
+        ni.cls = InstrClass::Sfu;
+        ni.latency = static_cast<std::uint16_t>(sfuLatency_);
+    } else {
+        ni.cls = InstrClass::Alu;
+        ni.latency = static_cast<std::uint16_t>(
+            ph.aluLatency * w.intensity + 0.5f);
+    }
+    w.next = ni;
+}
+
+Addr
+SmCore::genAddress(Warp &w, const PhaseRt &ph, const KernelRun &run)
+{
+    if (w.rng.uniform() < ph.hotFraction) {
+        Addr line = w.rng.below(ph.hotLines);
+        return run.hotBase() + line * lineSizeBytes;
+    }
+    Addr line = w.coldCursor++ & 8191;
+    return w.coldBase + line * lineSizeBytes;
+}
+
+void
+SmCore::retireInstr(Warp &w, KernelCtx &kc, Cycle ready_at)
+{
+    kc.stats.threadInstrs += w.next.lanes;
+    kc.stats.warpInstrs++;
+    if (quotaGating_)
+        kc.quota -= w.next.lanes;
+    w.instrIdx++;
+    w.readyAt = ready_at;
+}
+
+void
+SmCore::finishWarp(int warp_slot, Cycle now)
+{
+    Warp &w = warps_[warp_slot];
+    w.state = WarpState::Finished;
+    clearSchedBits(warp_slot);
+    TbSlot &tb = tbs_[w.tbSlot];
+    tb.warpsFinished++;
+    if (tb.warpsFinished == tb.warpsTotal && !tb.draining)
+        freeTb(w.tbSlot, TbExit::Completed, now);
+}
+
+void
+SmCore::issueWarp(int warp_slot, Cycle now)
+{
+    Warp &w = warps_[warp_slot];
+    KernelCtx &kc = kernels_[w.kernel];
+    const KernelRun &run = *kc.run;
+    clearSchedBits(warp_slot);
+
+    switch (w.next.cls) {
+      case InstrClass::Alu:
+      case InstrClass::Sfu:
+      case InstrClass::SharedMem: {
+        if (w.next.cls == InstrClass::Alu)
+            stats_.issuedAlu++;
+        else if (w.next.cls == InstrClass::Sfu)
+            stats_.issuedSfu++;
+        else
+            stats_.issuedSmem++;
+        Cycle ready_at = now + w.next.latency;
+        retireInstr(w, kc, ready_at);
+        if (w.instrIdx >= run.desc().warpInstrPerTb) {
+            finishWarp(warp_slot, now);
+        } else {
+            generateNext(w, run);
+            scheduleWake(warp_slot, ready_at);
+        }
+        break;
+      }
+      case InstrClass::GlobalLoad: {
+        const PhaseRt &ph = run.phase(w.phaseIdx);
+        int burst = std::min({static_cast<int>(w.next.transLeft),
+                              lsuBurst, mshrFree_});
+        gqos_assert(burst >= 1);
+        for (int i = 0; i < burst; ++i) {
+            Addr addr = genAddress(w, ph, run);
+            MemAccess acc = mem_->load(id_, w.kernel, addr, now);
+            if (acc.l1Miss) {
+                mshrFree_--;
+                kc.mshrHeld++;
+                mshrRelease_.emplace(acc.readyAt, w.kernel);
+            }
+            if (acc.readyAt > w.memDoneAt)
+                w.memDoneAt = acc.readyAt;
+        }
+        w.next.transLeft =
+            static_cast<std::uint8_t>(w.next.transLeft - burst);
+        if (w.next.transLeft > 0) {
+            // Replay: remaining transactions re-arbitrate for the
+            // LSU next cycle (access-splitting, as in GPGPU-Sim).
+            w.readyAt = now + 1;
+            scheduleWake(warp_slot, w.readyAt);
+        } else {
+            stats_.issuedLoads++;
+            Cycle ready_at = std::max(w.memDoneAt, now + 1);
+            w.memDoneAt = 0;
+            retireInstr(w, kc, ready_at);
+            if (w.instrIdx >= run.desc().warpInstrPerTb) {
+                finishWarp(warp_slot, now);
+            } else {
+                generateNext(w, run);
+                scheduleWake(warp_slot, ready_at);
+            }
+        }
+        break;
+      }
+      case InstrClass::GlobalStore: {
+        const PhaseRt &ph = run.phase(w.phaseIdx);
+        int burst = std::min(static_cast<int>(w.next.transLeft),
+                             lsuBurst);
+        for (int i = 0; i < burst; ++i) {
+            Addr addr = genAddress(w, ph, run);
+            mem_->store(id_, w.kernel, addr, now);
+        }
+        w.next.transLeft =
+            static_cast<std::uint8_t>(w.next.transLeft - burst);
+        if (w.next.transLeft > 0) {
+            w.readyAt = now + 1;
+            scheduleWake(warp_slot, w.readyAt);
+        } else {
+            stats_.issuedStores++;
+            Cycle ready_at = now + 4; // store-buffer latency
+            retireInstr(w, kc, ready_at);
+            if (w.instrIdx >= run.desc().warpInstrPerTb) {
+                finishWarp(warp_slot, now);
+            } else {
+                generateNext(w, run);
+                scheduleWake(warp_slot, ready_at);
+            }
+        }
+        break;
+      }
+    }
+}
+
+void
+SmCore::cycle(Cycle now, bool sample_iw)
+{
+    stats_.cycles++;
+    processWakes(now);
+    if (!drains_.empty())
+        processDrains(now);
+    while (!mshrRelease_.empty() && mshrRelease_.top().first <= now) {
+        mshrFree_++;
+        kernels_[mshrRelease_.top().second].mshrHeld--;
+        mshrRelease_.pop();
+    }
+
+    // Kernels eligible under EWS quota gating this cycle.
+    std::uint32_t allowed = 0;
+    int nk = static_cast<int>(runs_.size());
+    int resident_kernels = 0;
+    for (int k = 0; k < nk; ++k) {
+        if (!quotaGating_ || kernels_[k].quota > 0.0)
+            allowed |= 1u << k;
+        if (kernels_[k].residentTbs > 0)
+            resident_kernels++;
+    }
+
+    // Per-kernel MSHR cap: leave a few credits reachable for every
+    // co-resident kernel so memory-intensive sharers cannot starve
+    // the others' loads.
+    int mshr_cap = mshrMax_ -
+        mshrReserve * std::max(0, resident_kernels - 1);
+    std::uint32_t mshr_ok = 0;
+    for (int k = 0; k < nk; ++k) {
+        if (kernels_[k].mshrHeld < mshr_cap)
+            mshr_ok |= 1u << k;
+    }
+
+    bool store_blocked = mem_->interconnect().backlog(
+        static_cast<double>(now)) > storeThrottleBacklog;
+
+    int lsu_used = 0;
+    bool any_issue = false;
+
+    int first = static_cast<int>(now % numScheds_);
+    for (int i = 0; i < numScheds_; ++i) {
+        int s = first + i;
+        if (s >= numScheds_)
+            s -= numScheds_;
+        SchedulerState &sc = scheds_[s];
+
+        std::uint64_t allow_mask = 0;
+        std::uint64_t mshr_block = 0;
+        for (int k = 0; k < nk; ++k) {
+            if (allowed & (1u << k))
+                allow_mask |= sc.kernelMask[k];
+            if (!(mshr_ok & (1u << k)))
+                mshr_block |= sc.kernelMask[k];
+        }
+        std::uint64_t cand = sc.ready & allow_mask;
+        if (lsu_used >= lsuPorts_) {
+            cand &= ~(sc.loadMask | sc.storeMask);
+        } else {
+            if (mshrFree_ <= 0)
+                cand &= ~sc.loadMask;
+            else
+                cand &= ~(sc.loadMask & mshr_block);
+            if (store_blocked)
+                cand &= ~sc.storeMask;
+        }
+        if (!cand) {
+            sc.lastIssued = -1;
+            continue;
+        }
+
+        int lane;
+        if (policy_ == SchedPolicy::Gto) {
+            lane = pickGto(sc, cand);
+        } else {
+            lane = pickLrr(sc, cand);
+        }
+        if (lane < 0) {
+            sc.lastIssued = -1;
+            continue;
+        }
+        int slot = slotOf(s, lane);
+        bool is_mem =
+            warps_[slot].next.cls == InstrClass::GlobalLoad ||
+            warps_[slot].next.cls == InstrClass::GlobalStore;
+        issueWarp(slot, now);
+        if (is_mem)
+            lsu_used++;
+        sc.lastIssued = lane;
+        any_issue = true;
+    }
+
+    if (any_issue)
+        stats_.activeCycles++;
+
+    // Track the fraction of time each kernel spends quota-gated;
+    // the static allocator uses it to estimate a throttled kernel's
+    // true capability.
+    epochCycles_++;
+    if (quotaGating_) {
+        for (int k = 0; k < nk; ++k) {
+            if (!(allowed & (1u << k)) &&
+                kernels_[k].residentTbs > 0) {
+                kernels_[k].stats.gatedCycles++;
+            }
+        }
+    }
+
+    if (sample_iw) {
+        // Idle warps: ready but not issued this cycle. Warps whose
+        // next instruction is blocked on a saturated LSU / empty
+        // MSHR pool are *not* idle TLP -- they feed memory-level
+        // parallelism -- so they are excluded for kernels that are
+        // allowed to issue. For a quota-gated kernel every ready
+        // warp counts: that is exactly the idle capacity the static
+        // allocator may donate (Section 3.6 victim condition 2).
+        std::uint64_t blocked_cls = 0;
+        bool lsu_full = lsu_used >= lsuPorts_;
+        for (int s = 0; s < numScheds_; ++s) {
+            const SchedulerState &sc = scheds_[s];
+            std::uint64_t mem_mask = sc.loadMask | sc.storeMask;
+            if (lsu_full) {
+                blocked_cls = mem_mask;
+            } else {
+                blocked_cls = 0;
+                if (mshrFree_ <= 0)
+                    blocked_cls |= sc.loadMask;
+                if (store_blocked)
+                    blocked_cls |= sc.storeMask;
+            }
+            for (int k = 0; k < nk; ++k) {
+                std::uint64_t ready_k = sc.ready & sc.kernelMask[k];
+                std::uint64_t idle = (allowed & (1u << k))
+                    ? ready_k & ~blocked_cls
+                    : ready_k;
+                kernels_[k].stats.iwSampleSum += popCount(idle);
+            }
+        }
+        for (int k = 0; k < nk; ++k)
+            kernels_[k].stats.iwSamples++;
+    }
+}
+
+// ---------------------------------------------------------------
+// Quota interface
+// ---------------------------------------------------------------
+
+void
+SmCore::setQuota(KernelId k, double q)
+{
+    gqos_assert(k >= 0 && k < maxKernels);
+    kernels_[k].quota = q;
+}
+
+void
+SmCore::addQuota(KernelId k, double q)
+{
+    gqos_assert(k >= 0 && k < maxKernels);
+    kernels_[k].quota += q;
+}
+
+double
+SmCore::quota(KernelId k) const
+{
+    gqos_assert(k >= 0 && k < maxKernels);
+    return kernels_[k].quota;
+}
+
+bool
+SmCore::allQuotasExhausted() const
+{
+    for (std::size_t k = 0; k < runs_.size(); ++k) {
+        if (kernels_[k].residentTbs > 0 && kernels_[k].quota > 0.0)
+            return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------
+// Occupancy and statistics
+// ---------------------------------------------------------------
+
+int
+SmCore::residentTbs(KernelId k) const
+{
+    gqos_assert(k >= 0 && k < maxKernels);
+    return kernels_[k].residentTbs;
+}
+
+int
+SmCore::residentWarps(KernelId k) const
+{
+    gqos_assert(k >= 0 && k < maxKernels);
+    return kernels_[k].residentWarps;
+}
+
+int
+SmCore::totalResidentTbs() const
+{
+    return tbSlotsUsed_;
+}
+
+const SmKernelStats &
+SmCore::kernelStats(KernelId k) const
+{
+    gqos_assert(k >= 0 && k < maxKernels);
+    return kernels_[k].stats;
+}
+
+double
+SmCore::iwAverage(KernelId k) const
+{
+    gqos_assert(k >= 0 && k < maxKernels);
+    const SmKernelStats &s = kernels_[k].stats;
+    return s.iwSamples ? static_cast<double>(s.iwSampleSum) /
+                         s.iwSamples
+                       : 0.0;
+}
+
+double
+SmCore::gatedFraction(KernelId k) const
+{
+    gqos_assert(k >= 0 && k < maxKernels);
+    if (epochCycles_ == 0)
+        return 0.0;
+    return static_cast<double>(kernels_[k].stats.gatedCycles) /
+           epochCycles_;
+}
+
+void
+SmCore::resetIwSamples()
+{
+    for (auto &kc : kernels_) {
+        kc.stats.iwSampleSum = 0;
+        kc.stats.iwSamples = 0;
+        kc.stats.gatedCycles = 0;
+    }
+    epochCycles_ = 0;
+}
+
+} // namespace gqos

@@ -1,0 +1,476 @@
+/**
+ * @file
+ * Parboil-like workload definitions.
+ */
+
+#include "workloads/parboil.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace gqos
+{
+
+namespace
+{
+
+KernelDesc
+makeCutcp()
+{
+    // Coulomb potential on a 3D lattice: compute-bound, shared-
+    // memory tiling of atom data, very high arithmetic intensity.
+    KernelDesc d;
+    d.name = "cutcp";
+    d.threadsPerTb = 128;
+    d.regsPerThread = 34;
+    d.smemPerTb = 4 * 1024;
+    d.gridTbs = 600;
+    d.warpInstrPerTb = 6000;
+    d.wclass = WorkloadClass::Compute;
+    d.seed = 101;
+    KernelPhase load_tile;
+    load_tile.weight = 0.15;
+    load_tile.memRatio = 0.10;
+    load_tile.storeFraction = 0.05;
+    load_tile.sharedRatio = 0.20;
+    load_tile.aluLatency = 6;
+    load_tile.avgTransPerMem = 1.6;
+    load_tile.hotFraction = 0.85;
+    load_tile.hotLines = 4096;
+    load_tile.activeLanes = 32;
+    KernelPhase compute;
+    compute.weight = 0.85;
+    compute.memRatio = 0.02;
+    compute.storeFraction = 0.30;
+    compute.sharedRatio = 0.15;
+    compute.sfuRatio = 0.06;
+    compute.aluLatency = 5;
+    compute.avgTransPerMem = 1.2;
+    compute.hotFraction = 0.95;
+    compute.hotLines = 4096;
+    compute.activeLanes = 31;
+    d.phases = {load_tile, compute};
+    return d;
+}
+
+KernelDesc
+makeHisto()
+{
+    // Histogramming: short kernels (small grid, frequent relaunch),
+    // scattered read-modify-write traffic to privatized bins.
+    KernelDesc d;
+    d.name = "histo";
+    d.threadsPerTb = 256;
+    d.regsPerThread = 20;
+    d.smemPerTb = 8 * 1024;
+    d.gridTbs = 72;
+    d.warpInstrPerTb = 1000;
+    d.wclass = WorkloadClass::Memory;
+    d.seed = 102;
+    KernelPhase scatter;
+    scatter.weight = 0.7;
+    scatter.memRatio = 0.26;
+    scatter.storeFraction = 0.45;
+    scatter.sharedRatio = 0.10;
+    scatter.aluLatency = 6;
+    scatter.avgTransPerMem = 6.0;
+    scatter.hotFraction = 0.55;
+    scatter.hotLines = 16384;
+    scatter.activeLanes = 29;
+    KernelPhase reduce;
+    reduce.weight = 0.3;
+    reduce.memRatio = 0.16;
+    reduce.storeFraction = 0.30;
+    reduce.sharedRatio = 0.15;
+    reduce.aluLatency = 6;
+    reduce.avgTransPerMem = 2.0;
+    reduce.hotFraction = 0.70;
+    reduce.hotLines = 8192;
+    reduce.activeLanes = 30;
+    d.phases = {scatter, reduce};
+    return d;
+}
+
+KernelDesc
+makeLbm()
+{
+    // Lattice-Boltzmann: register-heavy streaming kernel, large
+    // working set, little reuse, alternating gather/compute/push.
+    KernelDesc d;
+    d.name = "lbm";
+    d.threadsPerTb = 128;
+    d.regsPerThread = 60;
+    d.smemPerTb = 0;
+    d.gridTbs = 400;
+    d.warpInstrPerTb = 5000;
+    d.wclass = WorkloadClass::Memory;
+    d.seed = 103;
+    KernelPhase gather;
+    gather.weight = 0.40;
+    gather.memRatio = 0.34;
+    gather.storeFraction = 0.05;
+    gather.aluLatency = 7;
+    gather.avgTransPerMem = 1.4;
+    gather.hotFraction = 0.15;
+    gather.hotLines = 8192;
+    gather.activeLanes = 32;
+    KernelPhase collide;
+    collide.weight = 0.35;
+    collide.memRatio = 0.10;
+    collide.storeFraction = 0.10;
+    collide.sfuRatio = 0.04;
+    collide.aluLatency = 6;
+    collide.avgTransPerMem = 1.3;
+    collide.hotFraction = 0.40;
+    collide.hotLines = 8192;
+    collide.activeLanes = 32;
+    KernelPhase push;
+    push.weight = 0.25;
+    push.memRatio = 0.30;
+    push.storeFraction = 0.85;
+    push.aluLatency = 7;
+    push.avgTransPerMem = 1.4;
+    push.hotFraction = 0.10;
+    push.hotLines = 8192;
+    push.activeLanes = 32;
+    d.phases = {gather, collide, push};
+    return d;
+}
+
+KernelDesc
+makeMriGridding()
+{
+    // MRI gridding: compute-bound with scattered sample accesses
+    // and moderate divergence.
+    KernelDesc d;
+    d.name = "mri-gridding";
+    d.threadsPerTb = 256;
+    d.regsPerThread = 40;
+    d.smemPerTb = 2 * 1024;
+    d.gridTbs = 500;
+    d.warpInstrPerTb = 4500;
+    d.wclass = WorkloadClass::Compute;
+    d.seed = 104;
+    KernelPhase bin;
+    bin.weight = 0.3;
+    bin.memRatio = 0.06;
+    bin.storeFraction = 0.40;
+    bin.aluLatency = 6;
+    bin.avgTransPerMem = 2.0;
+    bin.hotFraction = 0.75;
+    bin.hotLines = 6144;
+    bin.activeLanes = 24;
+    KernelPhase conv;
+    conv.weight = 0.7;
+    conv.memRatio = 0.04;
+    conv.storeFraction = 0.20;
+    conv.sfuRatio = 0.08;
+    conv.aluLatency = 5;
+    conv.avgTransPerMem = 1.4;
+    conv.hotFraction = 0.85;
+    conv.hotLines = 4096;
+    conv.activeLanes = 26;
+    d.phases = {bin, conv};
+    return d;
+}
+
+KernelDesc
+makeMriQ()
+{
+    // MRI Q-matrix: almost pure compute with heavy trigonometric
+    // (SFU) use and a tiny, fully cached working set.
+    KernelDesc d;
+    d.name = "mri-q";
+    d.threadsPerTb = 256;
+    d.regsPerThread = 28;
+    d.smemPerTb = 0;
+    d.gridTbs = 350;
+    d.warpInstrPerTb = 7000;
+    d.wclass = WorkloadClass::Compute;
+    d.seed = 105;
+    KernelPhase main_loop;
+    main_loop.weight = 0.9;
+    main_loop.memRatio = 0.02;
+    main_loop.storeFraction = 0.10;
+    main_loop.sfuRatio = 0.18;
+    main_loop.aluLatency = 5;
+    main_loop.avgTransPerMem = 1.2;
+    main_loop.hotFraction = 0.95;
+    main_loop.hotLines = 2048;
+    main_loop.activeLanes = 32;
+    KernelPhase writeback;
+    writeback.weight = 0.1;
+    writeback.memRatio = 0.08;
+    writeback.storeFraction = 0.80;
+    writeback.aluLatency = 5;
+    writeback.avgTransPerMem = 1.2;
+    writeback.hotFraction = 0.50;
+    writeback.hotLines = 2048;
+    writeback.activeLanes = 32;
+    d.phases = {main_loop, writeback};
+    return d;
+}
+
+KernelDesc
+makeSad()
+{
+    // Sum-of-absolute-differences (video): strided block loads with
+    // partial cache reuse; memory-leaning.
+    KernelDesc d;
+    d.name = "sad";
+    d.threadsPerTb = 256;
+    d.regsPerThread = 24;
+    d.smemPerTb = 0;
+    d.gridTbs = 500;
+    d.warpInstrPerTb = 3000;
+    d.wclass = WorkloadClass::Memory;
+    d.seed = 106;
+    KernelPhase search;
+    search.weight = 0.75;
+    search.memRatio = 0.24;
+    search.storeFraction = 0.08;
+    search.aluLatency = 5;
+    search.avgTransPerMem = 3.5;
+    search.hotFraction = 0.55;
+    search.hotLines = 12288;
+    search.activeLanes = 30;
+    KernelPhase writeout;
+    writeout.weight = 0.25;
+    writeout.memRatio = 0.18;
+    writeout.storeFraction = 0.70;
+    writeout.aluLatency = 5;
+    writeout.avgTransPerMem = 2.0;
+    writeout.hotFraction = 0.30;
+    writeout.hotLines = 8192;
+    writeout.activeLanes = 31;
+    d.phases = {search, writeout};
+    return d;
+}
+
+KernelDesc
+makeSgemm()
+{
+    // Dense matrix multiply: shared-memory blocked, compute-bound,
+    // high locality in the tile working set.
+    KernelDesc d;
+    d.name = "sgemm";
+    d.threadsPerTb = 128;
+    d.regsPerThread = 48;
+    d.smemPerTb = 8 * 1024;
+    d.gridTbs = 450;
+    d.warpInstrPerTb = 8000;
+    d.wclass = WorkloadClass::Compute;
+    d.seed = 107;
+    KernelPhase body;
+    body.weight = 0.92;
+    body.memRatio = 0.05;
+    body.storeFraction = 0.02;
+    body.sharedRatio = 0.24;
+    body.aluLatency = 4;
+    body.avgTransPerMem = 1.2;
+    body.hotFraction = 0.85;
+    body.hotLines = 6144;
+    body.activeLanes = 32;
+    KernelPhase epilogue;
+    epilogue.weight = 0.08;
+    epilogue.memRatio = 0.12;
+    epilogue.storeFraction = 0.85;
+    epilogue.aluLatency = 4;
+    epilogue.avgTransPerMem = 1.2;
+    epilogue.hotFraction = 0.40;
+    epilogue.hotLines = 6144;
+    epilogue.activeLanes = 32;
+    d.phases = {body, epilogue};
+    return d;
+}
+
+KernelDesc
+makeSpmv()
+{
+    // Sparse matrix-vector multiply: irregular gather with poor
+    // coalescing, bandwidth-bound, divergent rows.
+    KernelDesc d;
+    d.name = "spmv";
+    d.threadsPerTb = 192;
+    d.regsPerThread = 22;
+    d.smemPerTb = 0;
+    d.gridTbs = 700;
+    d.warpInstrPerTb = 2500;
+    d.wclass = WorkloadClass::Memory;
+    d.seed = 108;
+    KernelPhase gather;
+    gather.weight = 0.85;
+    gather.memRatio = 0.30;
+    gather.storeFraction = 0.03;
+    gather.aluLatency = 6;
+    gather.avgTransPerMem = 9.0;
+    gather.hotFraction = 0.45;
+    gather.hotLines = 24576;
+    gather.activeLanes = 26;
+    KernelPhase accumulate;
+    accumulate.weight = 0.15;
+    accumulate.memRatio = 0.12;
+    accumulate.storeFraction = 0.60;
+    accumulate.aluLatency = 6;
+    accumulate.avgTransPerMem = 2.0;
+    accumulate.hotFraction = 0.60;
+    accumulate.hotLines = 8192;
+    accumulate.activeLanes = 28;
+    d.phases = {gather, accumulate};
+    return d;
+}
+
+KernelDesc
+makeStencil()
+{
+    // 7-point 3D stencil: streaming with neighbour reuse captured
+    // by L1; bandwidth-bound at scale.
+    KernelDesc d;
+    d.name = "stencil";
+    d.threadsPerTb = 128;
+    d.regsPerThread = 26;
+    d.smemPerTb = 3 * 1024;
+    d.gridTbs = 520;
+    d.warpInstrPerTb = 4000;
+    d.wclass = WorkloadClass::Memory;
+    d.seed = 109;
+    KernelPhase sweep;
+    sweep.weight = 1.0;
+    sweep.memRatio = 0.28;
+    sweep.storeFraction = 0.22;
+    sweep.sharedRatio = 0.06;
+    sweep.aluLatency = 6;
+    sweep.avgTransPerMem = 1.4;
+    sweep.hotFraction = 0.35;
+    sweep.hotLines = 3072;
+    sweep.activeLanes = 32;
+    d.phases = {sweep};
+    return d;
+}
+
+KernelDesc
+makeTpacf()
+{
+    // Two-point angular correlation: compute-bound histogramming
+    // in shared memory, heavily divergent comparison loops.
+    KernelDesc d;
+    d.name = "tpacf";
+    d.threadsPerTb = 256;
+    d.regsPerThread = 30;
+    d.smemPerTb = 12 * 1024;
+    d.gridTbs = 300;
+    d.warpInstrPerTb = 9000;
+    d.wclass = WorkloadClass::Compute;
+    d.seed = 110;
+    KernelPhase corr;
+    corr.weight = 0.8;
+    corr.memRatio = 0.04;
+    corr.storeFraction = 0.02;
+    corr.sharedRatio = 0.18;
+    corr.sfuRatio = 0.10;
+    corr.aluLatency = 5;
+    corr.avgTransPerMem = 1.5;
+    corr.hotFraction = 0.80;
+    corr.hotLines = 4096;
+    corr.activeLanes = 22;
+    KernelPhase binning;
+    binning.weight = 0.2;
+    binning.memRatio = 0.08;
+    binning.storeFraction = 0.25;
+    binning.sharedRatio = 0.25;
+    binning.smemConflict = 2.0;
+    binning.aluLatency = 5;
+    binning.avgTransPerMem = 2.0;
+    binning.hotFraction = 0.70;
+    binning.hotLines = 4096;
+    binning.activeLanes = 24;
+    d.phases = {corr, binning};
+    return d;
+}
+
+std::vector<KernelDesc>
+buildSuite()
+{
+    std::vector<KernelDesc> suite = {
+        makeCutcp(), makeHisto(), makeLbm(), makeMriGridding(),
+        makeMriQ(), makeSad(), makeSgemm(), makeSpmv(),
+        makeStencil(), makeTpacf(),
+    };
+    for (const auto &d : suite)
+        d.validate();
+    return suite;
+}
+
+} // anonymous namespace
+
+const std::vector<KernelDesc> &
+parboilSuite()
+{
+    static const std::vector<KernelDesc> suite = buildSuite();
+    return suite;
+}
+
+std::vector<std::string>
+parboilNames()
+{
+    std::vector<std::string> names;
+    for (const auto &d : parboilSuite())
+        names.push_back(d.name);
+    return names;
+}
+
+const KernelDesc &
+parboilKernel(const std::string &name)
+{
+    for (const auto &d : parboilSuite()) {
+        if (d.name == name)
+            return d;
+    }
+    gqos_fatal("unknown Parboil kernel '%s'", name.c_str());
+}
+
+bool
+isParboilKernel(const std::string &name)
+{
+    for (const auto &d : parboilSuite()) {
+        if (d.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::pair<std::string, std::string>>
+parboilPairs()
+{
+    std::vector<std::pair<std::string, std::string>> pairs;
+    auto names = parboilNames();
+    for (const auto &a : names) {
+        for (const auto &b : names) {
+            if (a != b)
+                pairs.emplace_back(a, b);
+        }
+    }
+    return pairs;
+}
+
+std::vector<std::array<std::string, 3>>
+parboilTrios()
+{
+    std::vector<std::array<std::string, 3>> all;
+    auto names = parboilNames();
+    int n = static_cast<int>(names.size());
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+            for (int k = j + 1; k < n; ++k)
+                all.push_back({names[i], names[j], names[k]});
+        }
+    }
+    // 120 combinations; the paper runs 60. Select deterministically.
+    std::vector<std::array<std::string, 3>> out;
+    for (std::size_t i = 0; i < all.size(); i += 2)
+        out.push_back(all[i]);
+    return out;
+}
+
+} // namespace gqos

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Parboil-like synthetic workload suite.
+ *
+ * The paper evaluates on 10 Parboil benchmarks (bfs excluded as too
+ * small). Real CUDA binaries cannot run in this environment, so each
+ * benchmark is modelled as a KernelDesc whose resource demands,
+ * instruction mix, coalescing quality, locality and phase behaviour
+ * reproduce the published characterization of that benchmark:
+ * compute-bound kernels (cutcp, mri-q, mri-gridding, sgemm, tpacf)
+ * are issue-limited with high cache locality; memory-bound kernels
+ * (histo, lbm, sad, spmv, stencil) saturate DRAM bandwidth with
+ * streaming or gather/scatter access patterns; histo keeps the
+ * paper's "short kernels" property (small grids that relaunch
+ * often). The QoS evaluation only depends on these resource
+ * signatures, not on the numerical results the kernels compute.
+ */
+
+#ifndef GQOS_WORKLOADS_PARBOIL_HH
+#define GQOS_WORKLOADS_PARBOIL_HH
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/kernel_desc.hh"
+
+namespace gqos
+{
+
+/** The 10-benchmark suite, in the paper's alphabetical order. */
+const std::vector<KernelDesc> &parboilSuite();
+
+/** Names of all suite kernels, in suite order. */
+std::vector<std::string> parboilNames();
+
+/** Look up a suite kernel by name; fatal() if unknown. */
+const KernelDesc &parboilKernel(const std::string &name);
+
+/** True if @p name is a suite kernel. */
+bool isParboilKernel(const std::string &name);
+
+/**
+ * All ordered (QoS, non-QoS) pairs of distinct suite kernels:
+ * 10 x 9 = 90 pairs, as in Section 4.1.
+ */
+std::vector<std::pair<std::string, std::string>> parboilPairs();
+
+/**
+ * All unordered kernel trios {a, b, c} of distinct suite kernels
+ * used by the paper's three-kernel experiments. The paper tests 60
+ * trios "of all possible combinations ... due to the excessive
+ * number of runs"; we deterministically select 60 of the 120
+ * combinations (every other one in lexicographic order).
+ */
+std::vector<std::array<std::string, 3>> parboilTrios();
+
+} // namespace gqos
+
+#endif // GQOS_WORKLOADS_PARBOIL_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * GpuConfig validation and preset tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/gpu_config.hh"
+
+namespace gqos
+{
+namespace
+{
+
+TEST(GpuConfig, DefaultMatchesTable1)
+{
+    GpuConfig cfg = defaultConfig();
+    EXPECT_EQ(cfg.numSms, 16);
+    EXPECT_EQ(cfg.numMemPartitions, 4);
+    EXPECT_EQ(cfg.warpSchedulersPerSm, 4);
+    EXPECT_EQ(cfg.maxThreadsPerSm, 2048);
+    EXPECT_EQ(cfg.maxTbsPerSm, 32);
+    EXPECT_EQ(cfg.regFileBytes, 256 * 1024);
+    EXPECT_EQ(cfg.sharedMemBytes, 96 * 1024);
+    EXPECT_EQ(cfg.schedPolicy, SchedPolicy::Gto);
+    EXPECT_DOUBLE_EQ(cfg.coreFreqGhz, 1.216);
+    EXPECT_EQ(cfg.epochLength, 10000u);
+    EXPECT_EQ(cfg.iwSamplesPerEpoch, 100);
+}
+
+TEST(GpuConfig, DerivedValues)
+{
+    GpuConfig cfg = defaultConfig();
+    EXPECT_EQ(cfg.regsPerSm(), 65536);
+    EXPECT_EQ(cfg.maxWarpsPerSm(), 64);
+    EXPECT_EQ(cfg.warpsPerScheduler(), 16);
+}
+
+TEST(GpuConfig, LargeConfigMatchesSection46)
+{
+    GpuConfig cfg = largeConfig();
+    EXPECT_EQ(cfg.numSms, 56);
+    EXPECT_EQ(cfg.warpSchedulersPerSm, 2);
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(GpuConfigDeath, RejectsBadSmCount)
+{
+    GpuConfig cfg = defaultConfig();
+    cfg.numSms = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(GpuConfigDeath, RejectsUnevenSchedulerSplit)
+{
+    GpuConfig cfg = defaultConfig();
+    cfg.warpSchedulersPerSm = 3; // 64 warps do not split by 3
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(GpuConfigDeath, RejectsNonWarpMultipleThreads)
+{
+    GpuConfig cfg = defaultConfig();
+    cfg.maxThreadsPerSm = 2050;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(GpuConfigDeath, RejectsZeroDramBandwidth)
+{
+    GpuConfig cfg = defaultConfig();
+    cfg.dramSlotsPerCycle = 0.0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(GpuConfig, SummaryMentionsKeyParams)
+{
+    std::string s = defaultConfig().summary();
+    EXPECT_NE(s.find("16 SMs"), std::string::npos);
+    EXPECT_NE(s.find("GTO"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace gqos

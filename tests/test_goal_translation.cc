@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Goal-translation (Section 3.2) tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/goal_translation.hh"
+#include "qos/qos_spec.hh"
+
+namespace gqos
+{
+namespace
+{
+
+TEST(GoalTranslation, UnifiedMemoryHasNoTransferCost)
+{
+    PcieModel pcie;
+    pcie.unified = true;
+    EXPECT_DOUBLE_EQ(pcie.transferSeconds(1 << 30), 0.0);
+}
+
+TEST(GoalTranslation, TransferTimeIsLatencyPlusBandwidth)
+{
+    PcieModel pcie;
+    pcie.latencyUs = 10.0;
+    pcie.bandwidthGBps = 10.0;
+    // 100 MB at 10 GB/s = 10 ms, plus 10 us latency.
+    double t = pcie.transferSeconds(100ull * 1000 * 1000);
+    EXPECT_NEAR(t, 0.01 + 10e-6, 1e-9);
+}
+
+TEST(GoalTranslation, IpcGoalMatchesPaperEquation)
+{
+    GpuConfig cfg = defaultConfig();
+    WorkItemRequirement req;
+    req.deadlineSeconds = 1e-3;
+    req.instructions = 1e6;
+    PcieModel pcie;
+    pcie.unified = true;
+    TranslatedGoal g = translateGoal(req, pcie, cfg);
+    ASSERT_TRUE(g.feasible);
+    EXPECT_NEAR(g.kernelSeconds, 1e-3, 1e-12);
+    EXPECT_NEAR(g.ipcGoal, 1e6 / (cfg.coreFreqGhz * 1e9 * 1e-3),
+                1e-9);
+}
+
+TEST(GoalTranslation, TransfersShrinkTheKernelBudget)
+{
+    GpuConfig cfg = defaultConfig();
+    WorkItemRequirement req;
+    req.deadlineSeconds = 1e-3;
+    req.instructions = 1e6;
+    req.inputBytes = 4ull << 20;
+    req.outputBytes = 1ull << 20;
+    req.queuingSeconds = 50e-6;
+    PcieModel pcie;
+    TranslatedGoal with = translateGoal(req, pcie, cfg);
+    req.inputBytes = req.outputBytes = 0;
+    req.queuingSeconds = 0.0;
+    TranslatedGoal without = translateGoal(req, pcie, cfg);
+    ASSERT_TRUE(with.feasible);
+    EXPECT_LT(with.kernelSeconds, without.kernelSeconds);
+    EXPECT_GT(with.ipcGoal, without.ipcGoal);
+}
+
+TEST(GoalTranslation, InfeasibleWhenOverheadsEatTheDeadline)
+{
+    GpuConfig cfg = defaultConfig();
+    WorkItemRequirement req;
+    req.deadlineSeconds = 1e-5;
+    req.instructions = 1e6;
+    req.inputBytes = 1ull << 30; // ~90ms of PCIe time
+    TranslatedGoal g = translateGoal(req, PcieModel{}, cfg);
+    EXPECT_FALSE(g.feasible);
+    EXPECT_DOUBLE_EQ(g.ipcGoal, 0.0);
+}
+
+TEST(GoalTranslationDeath, RejectsNonPositiveDeadline)
+{
+    GpuConfig cfg = defaultConfig();
+    WorkItemRequirement req;
+    req.deadlineSeconds = 0.0;
+    req.instructions = 1.0;
+    EXPECT_EXIT(translateGoal(req, PcieModel{}, cfg),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(GoalTranslation, RateHelperIsConsistent)
+{
+    // ipcGoalFromRate is the unified-memory special case.
+    GpuConfig cfg = defaultConfig();
+    double via_helper = ipcGoalFromRate(1e7, 1.0 / 60.0,
+                                        cfg.coreFreqGhz);
+    WorkItemRequirement req;
+    req.deadlineSeconds = 1.0 / 60.0;
+    req.instructions = 1e7;
+    PcieModel pcie;
+    pcie.unified = true;
+    EXPECT_NEAR(translateGoal(req, pcie, cfg).ipcGoal, via_helper,
+                1e-9);
+}
+
+} // anonymous namespace
+} // namespace gqos

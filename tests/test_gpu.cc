@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Top-level GPU tests: TB-target convergence, grid relaunch,
+ * preemption requeue and metric accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hh"
+#include "tests/test_util.hh"
+
+namespace gqos
+{
+namespace
+{
+
+TEST(Gpu, DispatcherConvergesToTargets)
+{
+    GpuConfig cfg = defaultConfig();
+    Gpu gpu(cfg);
+    KernelDesc d = test::tinyComputeKernel();
+    d.gridTbs = 2000;
+    gpu.launch({&d});
+    for (int s = 0; s < gpu.numSms(); ++s)
+        gpu.setTbTarget(s, 0, 4);
+    test::drive(gpu, 2000);
+    for (int s = 0; s < gpu.numSms(); ++s)
+        EXPECT_EQ(gpu.residentTbs(s, 0), 4);
+    EXPECT_EQ(gpu.totalResidentTbs(0), 4 * gpu.numSms());
+}
+
+TEST(Gpu, ShrinkingTargetPreempts)
+{
+    GpuConfig cfg = defaultConfig();
+    Gpu gpu(cfg);
+    KernelDesc d = test::tinyComputeKernel();
+    d.gridTbs = 2000;
+    d.warpInstrPerTb = 100000; // long TBs: only preemption shrinks
+    gpu.launch({&d});
+    for (int s = 0; s < gpu.numSms(); ++s)
+        gpu.setTbTarget(s, 0, 6);
+    test::drive(gpu, 3000);
+    for (int s = 0; s < gpu.numSms(); ++s)
+        gpu.setTbTarget(s, 0, 2);
+    test::drive(gpu, 30000);
+    for (int s = 0; s < gpu.numSms(); ++s)
+        EXPECT_EQ(gpu.residentTbs(s, 0), 2);
+    EXPECT_GT(gpu.dispatchState(0).preemptedTbs, 0u);
+}
+
+TEST(Gpu, GridRelaunchesWhenComplete)
+{
+    GpuConfig cfg = defaultConfig();
+    Gpu gpu(cfg);
+    KernelDesc d = test::tinyComputeKernel();
+    d.gridTbs = 32; // small grid: finishes quickly
+    gpu.launch({&d});
+    for (int s = 0; s < gpu.numSms(); ++s)
+        gpu.setTbTarget(s, 0, 8);
+    test::drive(gpu, 120000);
+    const auto &ds = gpu.dispatchState(0);
+    EXPECT_GT(ds.launches, 2u);
+    // Every completed launch retired exactly gridTbs TBs.
+    EXPECT_GE(ds.completedTbs,
+              (ds.launches - 1) * static_cast<std::uint64_t>(32));
+    EXPECT_GT(gpu.ipc(0), 0.0);
+}
+
+TEST(Gpu, PreemptedWorkIsRequeued)
+{
+    GpuConfig cfg = defaultConfig();
+    Gpu gpu(cfg);
+    KernelDesc d = test::tinyComputeKernel();
+    d.gridTbs = 64;
+    d.warpInstrPerTb = 50000;
+    gpu.launch({&d});
+    for (int s = 0; s < gpu.numSms(); ++s)
+        gpu.setTbTarget(s, 0, 4);
+    test::drive(gpu, 2000);
+    for (int s = 0; s < gpu.numSms(); ++s)
+        gpu.setTbTarget(s, 0, 1);
+    test::drive(gpu, 30000);
+    const auto &ds = gpu.dispatchState(0);
+    EXPECT_GT(ds.preemptedTbs, 0u);
+    // Preempted TBs return to the pending pool: dispatched-but-not-
+    // finished work is never lost.
+    EXPECT_EQ(ds.liveTbs, gpu.totalResidentTbs(0));
+}
+
+TEST(Gpu, MultiKernelAccountingIsIndependent)
+{
+    GpuConfig cfg = defaultConfig();
+    Gpu gpu(cfg);
+    KernelDesc a = test::tinyComputeKernel("a");
+    KernelDesc b = test::tinyMemoryKernel("b");
+    gpu.launch({&a, &b});
+    for (int s = 0; s < gpu.numSms(); ++s) {
+        gpu.setTbTarget(s, 0, 4);
+        gpu.setTbTarget(s, 1, 4);
+    }
+    test::drive(gpu, 40000);
+    EXPECT_GT(gpu.threadInstrs(0), 0u);
+    EXPECT_GT(gpu.threadInstrs(1), 0u);
+    EXPECT_GT(gpu.ipc(0), gpu.ipc(1)); // compute beats memory
+}
+
+TEST(Gpu, QuotaGatingAllTogglesEverySm)
+{
+    GpuConfig cfg = defaultConfig();
+    Gpu gpu(cfg);
+    KernelDesc d = test::tinyComputeKernel();
+    gpu.launch({&d});
+    gpu.setQuotaGatingAll(true);
+    for (int s = 0; s < gpu.numSms(); ++s)
+        EXPECT_TRUE(gpu.sm(s).quotaGating());
+    gpu.setQuotaGatingAll(false);
+    for (int s = 0; s < gpu.numSms(); ++s)
+        EXPECT_FALSE(gpu.sm(s).quotaGating());
+}
+
+TEST(GpuDeath, LaunchRejectsTooManyKernels)
+{
+    GpuConfig cfg = defaultConfig();
+    Gpu gpu(cfg);
+    KernelDesc d = test::tinyComputeKernel();
+    std::vector<const KernelDesc *> many(maxKernels + 1, &d);
+    EXPECT_EXIT(gpu.launch(many), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Gpu, DeterministicAcrossRuns)
+{
+    auto once = [] {
+        GpuConfig cfg = defaultConfig();
+        Gpu gpu(cfg);
+        KernelDesc a = test::tinyComputeKernel("a");
+        KernelDesc b = test::tinyMemoryKernel("b");
+        gpu.launch({&a, &b});
+        for (int s = 0; s < gpu.numSms(); ++s) {
+            gpu.setTbTarget(s, 0, 3);
+            gpu.setTbTarget(s, 1, 3);
+        }
+        test::drive(gpu, 25000);
+        return std::pair{gpu.threadInstrs(0), gpu.threadInstrs(1)};
+    };
+    EXPECT_EQ(once(), once());
+}
+
+} // anonymous namespace
+} // namespace gqos

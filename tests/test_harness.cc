@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Harness tests: result caching, isolated-baseline handling and
+ * QoS-reach bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "harness/runner.hh"
+
+namespace gqos
+{
+namespace
+{
+
+struct HarnessFixture : public ::testing::Test
+{
+    HarnessFixture()
+    {
+        dir = "/tmp/gqos_test_cache_" +
+              std::to_string(::getpid());
+        opts.cycles = 60000;
+        opts.warmupCycles = 10000;
+        opts.cacheDir = dir;
+    }
+
+    ~HarnessFixture() override
+    {
+        std::filesystem::remove_all(dir);
+    }
+
+    std::string dir;
+    Runner::Options opts;
+};
+
+TEST_F(HarnessFixture, IsolatedIpcIsPositiveAndCached)
+{
+    Runner runner(opts);
+    double ipc1 = runner.isolatedIpc("sgemm");
+    EXPECT_GT(ipc1, 10.0);
+    int sims = runner.simulatedCases();
+    double ipc2 = runner.isolatedIpc("sgemm");
+    EXPECT_DOUBLE_EQ(ipc1, ipc2);
+    EXPECT_EQ(runner.simulatedCases(), sims); // served from memory
+}
+
+TEST_F(HarnessFixture, CasePersistsAcrossRunners)
+{
+    double ipc_first;
+    {
+        Runner runner(opts);
+        CaseResult r = runner.run({"sgemm", "lbm"}, {0.5, 0.0},
+                                  "rollover");
+        EXPECT_FALSE(r.fromCache);
+        ipc_first = r.kernels[0].ipc;
+    }
+    {
+        Runner runner(opts);
+        CaseResult r = runner.run({"sgemm", "lbm"}, {0.5, 0.0},
+                                  "rollover");
+        EXPECT_TRUE(r.fromCache);
+        EXPECT_NEAR(r.kernels[0].ipc, ipc_first,
+                    ipc_first * 1e-6);
+        EXPECT_EQ(runner.simulatedCases(), 0);
+    }
+}
+
+TEST_F(HarnessFixture, DistinctGoalsAreDistinctCases)
+{
+    Runner runner(opts);
+    runner.run({"sgemm", "lbm"}, {0.5, 0.0}, "rollover");
+    int sims = runner.simulatedCases();
+    runner.run({"sgemm", "lbm"}, {0.55, 0.0}, "rollover");
+    EXPECT_GT(runner.simulatedCases(), sims);
+}
+
+TEST_F(HarnessFixture, ReachedComparesAgainstGoal)
+{
+    Runner runner(opts);
+    CaseResult r = runner.run({"sgemm", "lbm"}, {0.5, 0.0},
+                              "rollover");
+    const KernelResult &q = r.kernels[0];
+    EXPECT_TRUE(q.isQos);
+    EXPECT_NEAR(q.goalIpc, 0.5 * q.ipcIsolated, 1e-9);
+    EXPECT_EQ(q.reached(), q.ipc >= q.goalIpc);
+    EXPECT_FALSE(r.kernels[1].isQos);
+    EXPECT_TRUE(r.kernels[1].reached()); // non-QoS always "reached"
+}
+
+TEST_F(HarnessFixture, NonQosThroughputAveragesNonQosOnly)
+{
+    Runner runner(opts);
+    CaseResult r = runner.run({"sgemm", "lbm"}, {0.5, 0.0},
+                              "rollover");
+    EXPECT_DOUBLE_EQ(r.nonQosThroughput(),
+                     r.kernels[1].normalizedThroughput());
+    EXPECT_DOUBLE_EQ(r.qosOvershoot(),
+                     r.kernels[0].normalizedToGoal());
+}
+
+TEST(HarnessSweeps, PaperGoalLists)
+{
+    auto g = paperGoalSweep();
+    ASSERT_EQ(g.size(), 10u);
+    EXPECT_DOUBLE_EQ(g.front(), 0.50);
+    EXPECT_DOUBLE_EQ(g.back(), 0.95);
+    auto d = paperDualGoalSweep();
+    ASSERT_EQ(d.size(), 10u);
+    EXPECT_DOUBLE_EQ(d.front(), 0.25);
+    EXPECT_DOUBLE_EQ(d.back(), 0.70);
+}
+
+TEST(HarnessDeath, MismatchedGoalsAreFatal)
+{
+    Runner::Options opts;
+    opts.useCache = false;
+    opts.cycles = 1000;
+    Runner runner(opts);
+    EXPECT_EXIT(runner.run({"sgemm", "lbm"}, {0.5}, "rollover"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(HarnessDeath, UnknownConfigIsFatal)
+{
+    Runner::Options opts;
+    opts.configName = "gigantic";
+    EXPECT_EXIT(Runner runner(opts), ::testing::ExitedWithCode(1),
+                "");
+}
+
+} // anonymous namespace
+} // namespace gqos

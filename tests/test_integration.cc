@@ -1,0 +1,199 @@
+/**
+ * @file
+ * End-to-end integration and property tests: QoS goals are actually
+ * met under the fine-grained policy, schemes order as the paper
+ * predicts, and SM resource invariants survive randomized dispatch
+ * and preemption sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "harness/runner.hh"
+#include "mem/mem_system.hh"
+#include "policy/policy_factory.hh"
+#include "sm/kernel_run.hh"
+#include "sm/sm_core.hh"
+#include "tests/test_util.hh"
+
+namespace gqos
+{
+namespace
+{
+
+Runner::Options
+fastOpts()
+{
+    Runner::Options o;
+    o.cycles = 160000;
+    o.warmupCycles = 40000;
+    o.useCache = false;
+    return o;
+}
+
+TEST(Integration, RolloverMeetsModerateGoal)
+{
+    Runner runner(fastOpts());
+    CaseResult r = runner.run({"sgemm", "lbm"}, {0.6, 0.0},
+                              "rollover");
+    EXPECT_TRUE(r.kernels[0].reached())
+        << "achieved " << r.kernels[0].normalizedToGoal();
+    // "Just enough": no gross overshoot.
+    EXPECT_LT(r.kernels[0].normalizedToGoal(), 1.3);
+    // The non-QoS kernel keeps running.
+    EXPECT_GT(r.kernels[1].ipc, 0.0);
+}
+
+TEST(Integration, MemoryQosAgainstMemoryPartner)
+{
+    Runner runner(fastOpts());
+    // M+M at a moderate goal: exactly the case where Spart lacks a
+    // bandwidth knob but quota throttling works (Figure 7).
+    CaseResult r = runner.run({"stencil", "lbm"}, {0.6, 0.0},
+                              "rollover");
+    EXPECT_TRUE(r.kernels[0].reached())
+        << "achieved " << r.kernels[0].normalizedToGoal();
+}
+
+TEST(Integration, RolloverTimeSacrificesNonQosThroughput)
+{
+    Runner runner(fastOpts());
+    CaseResult ro = runner.run({"sgemm", "stencil"}, {0.6, 0.0},
+                               "rollover");
+    CaseResult rt = runner.run({"sgemm", "stencil"}, {0.6, 0.0},
+                               "rollover-time");
+    EXPECT_TRUE(ro.kernels[0].reached());
+    EXPECT_TRUE(rt.kernels[0].reached());
+    // Overlap beats serialization for the best-effort kernel.
+    EXPECT_GT(ro.nonQosThroughput(),
+              rt.nonQosThroughput() * 0.99);
+}
+
+TEST(Integration, SpartOvershootsMoreThanRollover)
+{
+    Runner runner(fastOpts());
+    CaseResult sp = runner.run({"sgemm", "lbm"}, {0.5, 0.0},
+                               "spart");
+    CaseResult ro = runner.run({"sgemm", "lbm"}, {0.5, 0.0},
+                               "rollover");
+    ASSERT_TRUE(sp.kernels[0].reached());
+    ASSERT_TRUE(ro.kernels[0].reached());
+    // Whole-SM granularity cannot track "just enough" (Figure 9).
+    EXPECT_GT(sp.qosOvershoot(), ro.qosOvershoot());
+}
+
+TEST(Integration, ImpossibleGoalStarvesNonQosButKeepsRunning)
+{
+    Runner runner(fastOpts());
+    // 2x the isolated IPC cannot be reached; the policy must pour
+    // everything into the QoS kernel without deadlocking.
+    CaseResult r = runner.run({"spmv", "lbm"}, {2.0, 0.0},
+                              "rollover");
+    EXPECT_FALSE(r.kernels[0].reached());
+    EXPECT_GT(r.kernels[0].ipc, 0.0);
+}
+
+TEST(Integration, DeterministicCaseResults)
+{
+    Runner a(fastOpts()), b(fastOpts());
+    CaseResult ra = a.run({"cutcp", "spmv"}, {0.7, 0.0},
+                          "rollover");
+    CaseResult rb = b.run({"cutcp", "spmv"}, {0.7, 0.0},
+                          "rollover");
+    EXPECT_DOUBLE_EQ(ra.kernels[0].ipc, rb.kernels[0].ipc);
+    EXPECT_DOUBLE_EQ(ra.kernels[1].ipc, rb.kernels[1].ipc);
+    EXPECT_EQ(ra.preemptions, rb.preemptions);
+}
+
+/**
+ * Resource-invariant fuzz: random dispatch/preempt/execute
+ * sequences never corrupt the SM's resource accounting.
+ */
+class SmFuzz : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(SmFuzz, ResourceAccountingInvariants)
+{
+    GpuConfig cfg = defaultConfig();
+    KernelDesc a = test::tinyComputeKernel("a");
+    KernelDesc b = test::tinyMemoryKernel("b");
+    MemSystem mem(cfg);
+    SmCore sm(cfg, 0, mem);
+    KernelRun ra(a, 0, cfg), rb(b, 1, cfg);
+    sm.bindKernels({&ra, &rb});
+
+    Rng rng(GetParam());
+    Cycle now = 0;
+    std::uint64_t seq = 0;
+    for (int step = 0; step < 300; ++step) {
+        int action = static_cast<int>(rng.below(4));
+        KernelId k = static_cast<KernelId>(rng.below(2));
+        if (action == 0 && sm.canAccept(k)) {
+            EXPECT_TRUE(sm.dispatchTb(k, seq, seq % 64, now));
+            seq++;
+        } else if (action == 1 && !sm.preemptionPending()) {
+            sm.startPreemption(k, now);
+        } else {
+            Cycle burst = 50 + rng.below(400);
+            for (Cycle c = 0; c < burst; ++c)
+                sm.cycle(now++, false);
+        }
+        // Invariants after every step:
+        ASSERT_GE(sm.residentTbs(0), 0);
+        ASSERT_GE(sm.residentTbs(1), 0);
+        int threads = sm.residentTbs(0) * a.threadsPerTb +
+                      sm.residentTbs(1) * b.threadsPerTb;
+        ASSERT_EQ(sm.threadsUsed(), threads);
+        ASSERT_LE(sm.threadsUsed(), cfg.maxThreadsPerSm);
+    }
+    // Drain everything; all resources must come back.
+    for (int i = 0; i < 40; ++i) {
+        sm.preemptAll(now);
+        for (Cycle c = 0; c < 3000; ++c)
+            sm.cycle(now++, false);
+        if (sm.totalResidentTbs() == 0)
+            break;
+    }
+    EXPECT_EQ(sm.totalResidentTbs(), 0);
+    EXPECT_EQ(sm.threadsUsed(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+/**
+ * Quota-conservation property: with gating on and no refills, a
+ * kernel cannot execute (meaningfully) more than its allocated
+ * quota.
+ */
+class QuotaConservation
+    : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(QuotaConservation, ConsumptionBoundedByAllocation)
+{
+    GpuConfig cfg = defaultConfig();
+    KernelDesc d = test::tinyComputeKernel();
+    d.gridTbs = 4000;
+    MemSystem mem(cfg);
+    SmCore sm(cfg, 0, mem);
+    KernelRun run(d, 0, cfg);
+    sm.bindKernels({&run});
+    for (std::uint64_t i = 0; i < 8; ++i)
+        sm.dispatchTb(0, i, i, 0);
+    sm.setQuotaGating(true);
+    double quota = GetParam();
+    sm.setQuota(0, quota);
+    for (Cycle c = 0; c < 50000; ++c)
+        sm.cycle(c, false);
+    // Overshoot bounded by one warp instruction per issue slot.
+    EXPECT_LE(sm.kernelStats(0).threadInstrs,
+              quota + 32.0 * cfg.warpSchedulersPerSm);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quotas, QuotaConservation,
+                         ::testing::Values(1000.0, 5000.0, 20000.0,
+                                           100000.0));
+
+} // anonymous namespace
+} // namespace gqos

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * KernelDesc resource-math and validation tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/kernel_desc.hh"
+#include "tests/test_util.hh"
+
+namespace gqos
+{
+namespace
+{
+
+TEST(KernelDesc, WarpAndRegisterMath)
+{
+    KernelDesc d = test::tinyComputeKernel();
+    EXPECT_EQ(d.warpsPerTb(), 4);
+    EXPECT_EQ(d.regsPerTb(), 16 * 128);
+    EXPECT_EQ(d.contextBytesPerTb(),
+              static_cast<std::uint64_t>(16) * 128 * 4);
+}
+
+TEST(KernelDesc, MaxTbsLimitedByThreads)
+{
+    GpuConfig cfg = defaultConfig();
+    KernelDesc d = test::tinyComputeKernel();
+    // 2048 / 128 = 16 by threads; regs 16*128*16 = 32K < 64K regs.
+    EXPECT_EQ(d.maxTbsPerSm(cfg), 16);
+}
+
+TEST(KernelDesc, MaxTbsLimitedByRegisters)
+{
+    GpuConfig cfg = defaultConfig();
+    KernelDesc d = test::tinyComputeKernel();
+    d.regsPerThread = 64; // 8192 regs/TB -> 8 TBs by registers
+    EXPECT_EQ(d.maxTbsPerSm(cfg), 8);
+}
+
+TEST(KernelDesc, MaxTbsLimitedBySharedMemory)
+{
+    GpuConfig cfg = defaultConfig();
+    KernelDesc d = test::tinyComputeKernel();
+    d.smemPerTb = 32 * 1024; // 96KB / 32KB = 3
+    EXPECT_EQ(d.maxTbsPerSm(cfg), 3);
+}
+
+TEST(KernelDesc, MaxTbsLimitedByTbSlots)
+{
+    GpuConfig cfg = defaultConfig();
+    KernelDesc d = test::tinyComputeKernel();
+    d.threadsPerTb = 32;
+    d.regsPerThread = 1;
+    EXPECT_EQ(d.maxTbsPerSm(cfg), cfg.maxTbsPerSm);
+}
+
+TEST(KernelDesc, PhaseBoundariesNormalized)
+{
+    KernelDesc d = test::tinyComputeKernel();
+    KernelPhase a, b;
+    a.weight = 3.0;
+    b.weight = 1.0;
+    d.phases = {a, b};
+    auto bounds = phaseBoundaries(d);
+    ASSERT_EQ(bounds.size(), 2u);
+    EXPECT_NEAR(bounds[0], 0.75, 1e-9);
+    EXPECT_DOUBLE_EQ(bounds[1], 1.0);
+}
+
+TEST(KernelDescDeath, RejectsNonWarpMultipleTb)
+{
+    KernelDesc d = test::tinyComputeKernel();
+    d.threadsPerTb = 100;
+    EXPECT_EXIT(d.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(KernelDescDeath, RejectsEmptyPhases)
+{
+    KernelDesc d = test::tinyComputeKernel();
+    d.phases.clear();
+    EXPECT_EXIT(d.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(KernelDescDeath, RejectsBadInstructionMix)
+{
+    KernelDesc d = test::tinyComputeKernel();
+    d.phases[0].memRatio = 0.8;
+    d.phases[0].sharedRatio = 0.3; // sums above 1
+    EXPECT_EXIT(d.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(KernelDescDeath, RejectsBadCoalescing)
+{
+    KernelDesc d = test::tinyComputeKernel();
+    d.phases[0].avgTransPerMem = 40.0; // above warp size
+    EXPECT_EXIT(d.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(KernelDescDeath, RejectsBadVariance)
+{
+    KernelDesc d = test::tinyComputeKernel();
+    d.tbVariance = 0.8;
+    EXPECT_EXIT(d.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+} // anonymous namespace
+} // namespace gqos

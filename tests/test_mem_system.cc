@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Memory-system tests: latency composition, bandwidth-induced
+ * queueing, partition spreading and context-traffic accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/dram.hh"
+#include "mem/interconnect.hh"
+#include "mem/mem_system.hh"
+
+namespace gqos
+{
+namespace
+{
+
+GpuConfig
+cfg()
+{
+    return defaultConfig();
+}
+
+TEST(Interconnect, AddsLatencyAndQueueing)
+{
+    GpuConfig c = cfg();
+    Interconnect icnt(c);
+    double t0 = icnt.inject(100.0);
+    EXPECT_GE(t0, 100.0 + c.icntLatency);
+    // Saturate: many injections at the same instant queue up.
+    double last = 0;
+    for (int i = 0; i < 100; ++i)
+        last = icnt.inject(100.0);
+    EXPECT_GT(last, t0 + 100.0 / c.icntFlitsPerCycle - 2);
+    EXPECT_GT(icnt.backlog(100.0), 0.0);
+}
+
+TEST(Dram, RowHitFasterThanRowMiss)
+{
+    GpuConfig c = cfg();
+    DramChannel d(c);
+    Addr row_a = 0;
+    Addr row_b = 1 << 20;
+    d.serve(row_a, 0.0); // opens row a
+    double hit = d.serve(row_a + 128, 1000.0) - 1000.0;
+    double miss = d.serve(row_b, 5000.0) - 5000.0;
+    EXPECT_LT(hit, miss);
+    EXPECT_NEAR(miss - hit, c.dramRowMissExtra, 1.0);
+}
+
+TEST(Dram, BandwidthLimitCreatesQueueing)
+{
+    GpuConfig c = cfg();
+    DramChannel d(c);
+    double first = d.serve(0, 0.0);
+    double last = first;
+    for (int i = 1; i < 200; ++i)
+        last = d.serve(Addr(i) * 128, 0.0);
+    // 200 back-to-back requests at ~1/slotsPerCycle spacing.
+    EXPECT_GT(last - first, 150.0 / c.dramSlotsPerCycle * 0.9);
+}
+
+TEST(MemSystem, L1HitLatency)
+{
+    GpuConfig c = cfg();
+    MemSystem mem(c);
+    Addr a = Addr(1) << 40;
+    MemAccess miss = mem.load(0, 0, a, 0);
+    EXPECT_TRUE(miss.l1Miss);
+    EXPECT_GT(miss.readyAt, static_cast<Cycle>(c.l1HitLatency));
+    MemAccess hit = mem.load(0, 0, a, 1000);
+    EXPECT_FALSE(hit.l1Miss);
+    EXPECT_EQ(hit.readyAt, 1000u + c.l1HitLatency);
+}
+
+TEST(MemSystem, L2CapturesSharedLines)
+{
+    GpuConfig c = cfg();
+    MemSystem mem(c);
+    Addr a = Addr(1) << 40;
+    mem.load(0, 0, a, 0);                   // DRAM fill
+    MemAccess r = mem.load(1, 0, a, 5000);  // other SM: L2 hit
+    EXPECT_TRUE(r.l1Miss);
+    std::uint64_t dram = mem.totalDramAccesses();
+    EXPECT_EQ(dram, 1u);
+    EXPECT_LT(r.readyAt, 5000u + c.dramLatency + c.l2HitLatency);
+}
+
+TEST(MemSystem, PartitionsSpreadAddresses)
+{
+    GpuConfig c = cfg();
+    MemSystem mem(c);
+    std::vector<int> counts(c.numMemPartitions, 0);
+    for (int i = 0; i < 4096; ++i)
+        counts[mem.partitionOf(Addr(i) * lineSizeBytes)]++;
+    for (int p = 0; p < c.numMemPartitions; ++p) {
+        EXPECT_GT(counts[p], 4096 / c.numMemPartitions / 2);
+        EXPECT_LT(counts[p], 4096 / c.numMemPartitions * 2);
+    }
+}
+
+TEST(MemSystem, StoresConsumeBandwidthWithoutBlocking)
+{
+    GpuConfig c = cfg();
+    MemSystem mem(c);
+    for (int i = 0; i < 100; ++i)
+        mem.store(0, 0, Addr(i) << 20, 0);
+    EXPECT_EQ(mem.stats().stores, 100u);
+    EXPECT_GT(mem.totalDramAccesses(), 50u);
+    // Subsequent loads see the icnt backlog the stores created.
+    MemAccess r = mem.load(0, 1, Addr(99) << 30, 0);
+    EXPECT_GT(r.readyAt,
+              static_cast<Cycle>(c.icntLatency + c.l2HitLatency));
+}
+
+TEST(MemSystem, StoreHitInL2AvoidsDram)
+{
+    GpuConfig c = cfg();
+    MemSystem mem(c);
+    Addr a = Addr(3) << 40;
+    mem.load(0, 0, a, 0); // allocate in L2
+    std::uint64_t dram_before = mem.totalDramAccesses();
+    mem.store(0, 0, a, 1000);
+    EXPECT_EQ(mem.totalDramAccesses(), dram_before);
+}
+
+TEST(MemSystem, ContextTrafficOccupiesDram)
+{
+    GpuConfig c = cfg();
+    MemSystem mem(c);
+    std::uint64_t before = mem.totalDramAccesses();
+    Cycle done = mem.injectContextTraffic(0, 64 * 1024, 0);
+    EXPECT_GT(done, 0u);
+    EXPECT_EQ(mem.totalDramAccesses() - before,
+              64u * 1024 / lineSizeBytes);
+}
+
+TEST(MemSystem, InvalidateKernelL1)
+{
+    GpuConfig c = cfg();
+    MemSystem mem(c);
+    Addr a = Addr(1) << 40;
+    mem.load(0, 0, a, 0);
+    EXPECT_FALSE(mem.load(0, 0, a, 1000).l1Miss);
+    mem.invalidateKernelL1(0, 0);
+    EXPECT_TRUE(mem.load(0, 0, a, 2000).l1Miss);
+}
+
+TEST(MemSystem, PerKernelDramAccounting)
+{
+    GpuConfig c = cfg();
+    MemSystem mem(c);
+    for (int i = 0; i < 50; ++i)
+        mem.load(0, 1, (Addr(1) << 41) + Addr(i) * 128, i * 3);
+    EXPECT_GE(mem.stats().dramByKernel[1], 40u);
+    EXPECT_EQ(mem.stats().dramByKernel[0], 0u);
+}
+
+} // anonymous namespace
+} // namespace gqos

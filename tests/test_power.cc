@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Power-model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+#include "tests/test_util.hh"
+
+namespace gqos
+{
+namespace
+{
+
+TEST(Power, IdleGpuBurnsOnlyStaticPower)
+{
+    GpuConfig cfg = defaultConfig();
+    Gpu gpu(cfg);
+    KernelDesc d = test::tinyComputeKernel();
+    gpu.launch({&d}); // no targets: nothing executes
+    test::drive(gpu, 10000);
+    PowerReport r = computePower(gpu);
+    EXPECT_GT(r.staticJ, 0.0);
+    EXPECT_NEAR(r.dynamicJ, 0.0, 1e-9);
+    PowerParams p;
+    EXPECT_NEAR(r.avgWatts(),
+                p.staticPerSm * cfg.numSms + p.staticUncore, 0.01);
+}
+
+TEST(Power, ActivityAddsDynamicEnergy)
+{
+    GpuConfig cfg = defaultConfig();
+    Gpu gpu(cfg);
+    KernelDesc d = test::tinyComputeKernel();
+    gpu.launch({&d});
+    for (int s = 0; s < gpu.numSms(); ++s)
+        gpu.setTbTarget(s, 0, 8);
+    test::drive(gpu, 20000);
+    PowerReport r = computePower(gpu);
+    EXPECT_GT(r.dynamicJ, 0.0);
+    EXPECT_GT(r.avgWatts(),
+              PowerParams().staticPerSm * cfg.numSms);
+}
+
+TEST(Power, InstrPerWattRewardsUtilization)
+{
+    GpuConfig cfg = defaultConfig();
+    auto measure = [&](int tbs) {
+        Gpu gpu(cfg);
+        KernelDesc d = test::tinyComputeKernel();
+        d.gridTbs = 4000;
+        gpu.launch({&d});
+        for (int s = 0; s < gpu.numSms(); ++s)
+            gpu.setTbTarget(s, 0, tbs);
+        test::drive(gpu, 30000);
+        return instrPerWatt(gpu);
+    };
+    // Higher occupancy amortizes static power better.
+    EXPECT_GT(measure(12), measure(2));
+}
+
+TEST(Power, MemoryTrafficCostsEnergy)
+{
+    GpuConfig cfg = defaultConfig();
+    auto dynamic_j = [&](const KernelDesc &d) {
+        Gpu gpu(cfg);
+        gpu.launch({&d});
+        for (int s = 0; s < gpu.numSms(); ++s)
+            gpu.setTbTarget(s, 0, 6);
+        test::drive(gpu, 20000);
+        PowerReport r = computePower(gpu);
+        std::uint64_t instr = gpu.threadInstrs(0);
+        return instr ? r.dynamicJ / instr : 0.0;
+    };
+    // Per instruction, a memory-bound kernel costs more energy
+    // (DRAM access energy dominates).
+    EXPECT_GT(dynamic_j(test::tinyMemoryKernel()),
+              dynamic_j(test::tinyComputeKernel()));
+}
+
+} // anonymous namespace
+} // namespace gqos

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared helpers for the unit/integration tests: small kernel
+ * descriptors and a driver that runs a policy on a co-run.
+ */
+
+#ifndef GQOS_TESTS_TEST_UTIL_HH
+#define GQOS_TESTS_TEST_UTIL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/kernel_desc.hh"
+#include "gpu/gpu.hh"
+#include "policy/sharing_policy.hh"
+
+namespace gqos::test
+{
+
+/** A small, fast compute-bound kernel. */
+inline KernelDesc
+tinyComputeKernel(const std::string &name = "tiny-c")
+{
+    KernelDesc d;
+    d.name = name;
+    d.threadsPerTb = 128;
+    d.regsPerThread = 16;
+    d.smemPerTb = 0;
+    d.gridTbs = 64;
+    d.warpInstrPerTb = 600;
+    d.tbVariance = 0.0;
+    KernelPhase p;
+    p.memRatio = 0.02;
+    p.aluLatency = 4;
+    p.hotLines = 256;
+    p.hotFraction = 0.9;
+    d.phases = {p};
+    d.wclass = WorkloadClass::Compute;
+    d.seed = 7;
+    return d;
+}
+
+/** A small memory-bound kernel. */
+inline KernelDesc
+tinyMemoryKernel(const std::string &name = "tiny-m")
+{
+    KernelDesc d;
+    d.name = name;
+    d.threadsPerTb = 128;
+    d.regsPerThread = 16;
+    d.smemPerTb = 0;
+    d.gridTbs = 64;
+    d.warpInstrPerTb = 400;
+    d.tbVariance = 0.0;
+    KernelPhase p;
+    p.memRatio = 0.3;
+    p.avgTransPerMem = 2.0;
+    p.hotFraction = 0.2;
+    p.hotLines = 4096;
+    p.aluLatency = 5;
+    d.phases = {p};
+    d.wclass = WorkloadClass::Memory;
+    d.seed = 8;
+    return d;
+}
+
+/** Run @p policy on @p gpu for @p cycles. */
+inline void
+drive(Gpu &gpu, SharingPolicy &policy, Cycle cycles)
+{
+    for (Cycle c = 0; c < cycles; ++c) {
+        policy.onCycle(gpu);
+        gpu.step();
+    }
+}
+
+/** Run a bare GPU (targets already set) for @p cycles. */
+inline void
+drive(Gpu &gpu, Cycle cycles)
+{
+    for (Cycle c = 0; c < cycles; ++c)
+        gpu.step();
+}
+
+} // namespace gqos::test
+
+#endif // GQOS_TESTS_TEST_UTIL_HH
