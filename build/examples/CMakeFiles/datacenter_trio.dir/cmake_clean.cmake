@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_trio.dir/datacenter_trio.cpp.o"
+  "CMakeFiles/datacenter_trio.dir/datacenter_trio.cpp.o.d"
+  "datacenter_trio"
+  "datacenter_trio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_trio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

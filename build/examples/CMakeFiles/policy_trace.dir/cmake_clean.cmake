@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_trace.dir/policy_trace.cpp.o"
+  "CMakeFiles/policy_trace.dir/policy_trace.cpp.o.d"
+  "policy_trace"
+  "policy_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

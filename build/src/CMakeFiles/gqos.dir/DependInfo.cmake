@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/gpu_config.cc" "src/CMakeFiles/gqos.dir/arch/gpu_config.cc.o" "gcc" "src/CMakeFiles/gqos.dir/arch/gpu_config.cc.o.d"
+  "/root/repo/src/arch/kernel_desc.cc" "src/CMakeFiles/gqos.dir/arch/kernel_desc.cc.o" "gcc" "src/CMakeFiles/gqos.dir/arch/kernel_desc.cc.o.d"
+  "/root/repo/src/common/cli.cc" "src/CMakeFiles/gqos.dir/common/cli.cc.o" "gcc" "src/CMakeFiles/gqos.dir/common/cli.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/gqos.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/gqos.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/gqos.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/gqos.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/gqos.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/gqos.dir/common/stats.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/gqos.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/gqos.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/gqos.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/gqos.dir/harness/runner.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/gqos.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/gqos.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/CMakeFiles/gqos.dir/mem/mem_system.cc.o" "gcc" "src/CMakeFiles/gqos.dir/mem/mem_system.cc.o.d"
+  "/root/repo/src/policy/even_share.cc" "src/CMakeFiles/gqos.dir/policy/even_share.cc.o" "gcc" "src/CMakeFiles/gqos.dir/policy/even_share.cc.o.d"
+  "/root/repo/src/policy/fine_grain_qos.cc" "src/CMakeFiles/gqos.dir/policy/fine_grain_qos.cc.o" "gcc" "src/CMakeFiles/gqos.dir/policy/fine_grain_qos.cc.o.d"
+  "/root/repo/src/policy/policy_factory.cc" "src/CMakeFiles/gqos.dir/policy/policy_factory.cc.o" "gcc" "src/CMakeFiles/gqos.dir/policy/policy_factory.cc.o.d"
+  "/root/repo/src/policy/smk_fair.cc" "src/CMakeFiles/gqos.dir/policy/smk_fair.cc.o" "gcc" "src/CMakeFiles/gqos.dir/policy/smk_fair.cc.o.d"
+  "/root/repo/src/policy/spart.cc" "src/CMakeFiles/gqos.dir/policy/spart.cc.o" "gcc" "src/CMakeFiles/gqos.dir/policy/spart.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/CMakeFiles/gqos.dir/power/power_model.cc.o" "gcc" "src/CMakeFiles/gqos.dir/power/power_model.cc.o.d"
+  "/root/repo/src/qos/goal_translation.cc" "src/CMakeFiles/gqos.dir/qos/goal_translation.cc.o" "gcc" "src/CMakeFiles/gqos.dir/qos/goal_translation.cc.o.d"
+  "/root/repo/src/qos/quota_controller.cc" "src/CMakeFiles/gqos.dir/qos/quota_controller.cc.o" "gcc" "src/CMakeFiles/gqos.dir/qos/quota_controller.cc.o.d"
+  "/root/repo/src/qos/static_alloc.cc" "src/CMakeFiles/gqos.dir/qos/static_alloc.cc.o" "gcc" "src/CMakeFiles/gqos.dir/qos/static_alloc.cc.o.d"
+  "/root/repo/src/sm/kernel_run.cc" "src/CMakeFiles/gqos.dir/sm/kernel_run.cc.o" "gcc" "src/CMakeFiles/gqos.dir/sm/kernel_run.cc.o.d"
+  "/root/repo/src/sm/sm_core.cc" "src/CMakeFiles/gqos.dir/sm/sm_core.cc.o" "gcc" "src/CMakeFiles/gqos.dir/sm/sm_core.cc.o.d"
+  "/root/repo/src/workloads/parboil.cc" "src/CMakeFiles/gqos.dir/workloads/parboil.cc.o" "gcc" "src/CMakeFiles/gqos.dir/workloads/parboil.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

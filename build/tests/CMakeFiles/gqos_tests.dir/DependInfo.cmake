@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/gqos_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/gqos_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/gqos_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_goal_translation.cc" "tests/CMakeFiles/gqos_tests.dir/test_goal_translation.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_goal_translation.cc.o.d"
+  "/root/repo/tests/test_gpu.cc" "tests/CMakeFiles/gqos_tests.dir/test_gpu.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_gpu.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/gqos_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/gqos_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_kernel_desc.cc" "tests/CMakeFiles/gqos_tests.dir/test_kernel_desc.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_kernel_desc.cc.o.d"
+  "/root/repo/tests/test_mem_system.cc" "tests/CMakeFiles/gqos_tests.dir/test_mem_system.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_mem_system.cc.o.d"
+  "/root/repo/tests/test_paper_claims.cc" "tests/CMakeFiles/gqos_tests.dir/test_paper_claims.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_paper_claims.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/gqos_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/gqos_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_quota.cc" "tests/CMakeFiles/gqos_tests.dir/test_quota.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_quota.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/gqos_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_sm_core.cc" "tests/CMakeFiles/gqos_tests.dir/test_sm_core.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_sm_core.cc.o.d"
+  "/root/repo/tests/test_sm_edge.cc" "tests/CMakeFiles/gqos_tests.dir/test_sm_edge.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_sm_edge.cc.o.d"
+  "/root/repo/tests/test_smk_fair.cc" "tests/CMakeFiles/gqos_tests.dir/test_smk_fair.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_smk_fair.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/gqos_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/gqos_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gqos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
