@@ -19,7 +19,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    Runner runner(runnerOptions(args));
+    Runner runner = makeRunner(args);
     int n = args.getBool("full", false)
         ? 0 : static_cast<int>(args.getInt("pairs", 8));
     auto pairs = subsample(parboilPairs(), n);
@@ -30,9 +30,9 @@ main(int argc, char **argv)
     ReachStat with_h, without_h;
     for (double goal : paperGoalSweep()) {
         for (const auto &[qos, bg] : pairs) {
-            with_h.add(runner.run({qos, bg}, {goal, 0.0},
+            with_h.add(runCase(runner, {qos, bg}, {goal, 0.0},
                                   "rollover").allReached());
-            without_h.add(runner.run({qos, bg}, {goal, 0.0},
+            without_h.add(runCase(runner, {qos, bg}, {goal, 0.0},
                                      "rollover-nohist")
                               .allReached());
         }
@@ -52,9 +52,9 @@ main(int argc, char **argv)
     MeanStat mm_on, mm_off;
     for (double goal : paperGoalSweep()) {
         for (const auto &[qos, bg] : pairs) {
-            CaseResult on = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult on = runCase(runner, {qos, bg}, {goal, 0.0},
                                        "rollover");
-            CaseResult off = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult off = runCase(runner, {qos, bg}, {goal, 0.0},
                                         "rollover-nostatic");
             st_on.add(on.allReached());
             st_off.add(off.allReached());
@@ -85,13 +85,13 @@ main(int argc, char **argv)
                 "cost");
     Runner::Options free_opts = runnerOptions(args);
     free_opts.freePreemption = true;
-    Runner free_runner(free_opts);
+    Runner free_runner = okOrDie(Runner::make(free_opts));
     MeanStat thr_paid, thr_free;
     for (double goal : {0.6, 0.8}) {
         for (const auto &[qos, bg] : subsample(pairs, 6)) {
-            CaseResult paid = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult paid = runCase(runner, {qos, bg}, {goal, 0.0},
                                          "rollover");
-            CaseResult free_r = free_runner.run(
+            CaseResult free_r = runCase(free_runner,
                 {qos, bg}, {goal, 0.0}, "rollover");
             // Compare total throughput (QoS + non-QoS IPC share).
             double tp = paid.kernels[1].normalizedThroughput();

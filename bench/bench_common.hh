@@ -18,6 +18,7 @@
 #ifndef GQOS_BENCH_BENCH_COMMON_HH
 #define GQOS_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -39,13 +40,44 @@ runnerOptions(const CliArgs &args, const std::string &config = "default")
 {
     Runner::Options opts;
     opts.cycles = args.getInt("cycles", 200000);
-    opts.warmupCycles = args.getInt("warmup", 40000);
+    // An explicit --warmup is validated as-is by Runner::make; the
+    // default scales down so a short --cycles run stays legal.
+    opts.warmupCycles = args.has("warmup")
+        ? args.getInt("warmup", 40000)
+        : std::min<Cycle>(40000, opts.cycles / 5);
     opts.configName = args.getString("config", config);
     opts.cacheDir = args.getString("cache", ".qos_cache");
     opts.useCache = args.getBool("cache-enabled",
                                  !args.has("no-cache"));
     opts.verbose = args.getBool("verbose", false);
     return opts;
+}
+
+/**
+ * CLI-boundary constructors: the harness reports recoverable errors
+ * through Result; a bench binary's only sensible reaction to bad
+ * options or an unknown kernel/policy is fatal(), so the unwrap
+ * happens here and nowhere deeper.
+ */
+inline Runner
+makeRunner(const CliArgs &args, const std::string &config = "default")
+{
+    return okOrDie(Runner::make(runnerOptions(args, config)));
+}
+
+/** Run one case or fatal() with the error message. */
+inline CaseResult
+runCase(Runner &runner, const std::vector<std::string> &kernels,
+        const std::vector<double> &goals, const std::string &policy)
+{
+    return okOrDie(runner.run(kernels, goals, policy));
+}
+
+/** Isolated-baseline lookup or fatal(). */
+inline double
+isolatedIpc(Runner &runner, const std::string &kernel)
+{
+    return okOrDie(runner.isolatedIpc(kernel));
 }
 
 /** Deterministically subsample every Nth element to @p count. */

@@ -19,7 +19,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    Runner runner(runnerOptions(args));
+    Runner runner = makeRunner(args);
     auto pairs = subsample(parboilPairs(),
                            static_cast<int>(args.getInt("pairs", 8)));
     Cycle cycles = args.getInt("cycles", 200000);
@@ -35,8 +35,8 @@ main(int argc, char **argv)
     for (const auto &[k0, k1] : pairs) {
         // Fairness mode.
         GpuConfig cfg = runner.config();
-        double iso0 = runner.isolatedIpc(k0);
-        double iso1 = runner.isolatedIpc(k1);
+        double iso0 = isolatedIpc(runner, k0);
+        double iso1 = isolatedIpc(runner, k1);
         Gpu gpu(cfg);
         const KernelDesc &d0 = parboilKernel(k0);
         const KernelDesc &d1 = parboilKernel(k1);
@@ -50,7 +50,7 @@ main(int argc, char **argv)
         }
 
         // QoS mode on the same pair (cached).
-        CaseResult r = runner.run({k0, k1}, {0.7, 0.0},
+        CaseResult r = runCase(runner, {k0, k1}, {0.7, 0.0},
                                   "rollover");
         total++;
         if (r.allReached())

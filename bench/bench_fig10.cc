@@ -14,7 +14,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    Runner runner(runnerOptions(args));
+    Runner runner = makeRunner(args);
     auto pairs = selectedPairs(args);
 
     printHeader("Figure 10: QoSreach, Rollover vs Rollover-Time "
@@ -25,9 +25,9 @@ main(int argc, char **argv)
     for (double goal : paperGoalSweep()) {
         ReachStat ro, rt;
         for (const auto &[qos, bg] : pairs) {
-            CaseResult rr = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult rr = runCase(runner, {qos, bg}, {goal, 0.0},
                                        "rollover");
-            CaseResult rm = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult rm = runCase(runner, {qos, bg}, {goal, 0.0},
                                        "rollover-time");
             ro.add(rr.allReached());
             rt.add(rm.allReached());

@@ -15,7 +15,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    Runner runner(runnerOptions(args));
+    Runner runner = makeRunner(args);
     auto pairs = selectedPairs(args);
 
     printHeader("Figure 11: non-QoS throughput, Rollover vs "
@@ -26,9 +26,9 @@ main(int argc, char **argv)
     for (double goal : paperGoalSweep()) {
         MeanStat ro, rt;
         for (const auto &[qos, bg] : pairs) {
-            CaseResult rr = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult rr = runCase(runner, {qos, bg}, {goal, 0.0},
                                        "rollover");
-            CaseResult rm = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult rm = runCase(runner, {qos, bg}, {goal, 0.0},
                                        "rollover-time");
             if (rr.allReached()) {
                 ro.add(rr.nonQosThroughput());

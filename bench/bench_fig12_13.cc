@@ -18,7 +18,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    Runner runner(runnerOptions(args, "large"));
+    Runner runner = makeRunner(args, "large");
     // The 56-SM machine is ~3.5x more expensive to simulate; use a
     // smaller default pair subset.
     int n = args.getBool("full", false)
@@ -34,9 +34,9 @@ main(int argc, char **argv)
         ReachStat sp_r, ro_r;
         MeanStat sp_t, ro_t;
         for (const auto &[qos, bg] : pairs) {
-            CaseResult rs = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult rs = runCase(runner, {qos, bg}, {goal, 0.0},
                                        "spart");
-            CaseResult rr = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult rr = runCase(runner, {qos, bg}, {goal, 0.0},
                                        "rollover");
             sp_r.add(rs.allReached());
             ro_r.add(rr.allReached());

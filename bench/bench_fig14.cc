@@ -15,7 +15,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    Runner runner(runnerOptions(args));
+    Runner runner = makeRunner(args);
     auto pairs = selectedPairs(args);
 
     printHeader("Figure 14: instr/Watt improvement of Rollover "
@@ -25,9 +25,9 @@ main(int argc, char **argv)
     for (double goal : paperGoalSweep()) {
         MeanStat impr;
         for (const auto &[qos, bg] : pairs) {
-            CaseResult rs = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult rs = runCase(runner, {qos, bg}, {goal, 0.0},
                                        "spart");
-            CaseResult rr = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult rr = runCase(runner, {qos, bg}, {goal, 0.0},
                                        "rollover");
             if (rs.instrPerWatt > 0.0) {
                 double d = rr.instrPerWatt / rs.instrPerWatt - 1.0;

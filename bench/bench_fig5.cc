@@ -15,7 +15,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    Runner runner(runnerOptions(args));
+    Runner runner = makeRunner(args);
     auto pairs = selectedPairs(args);
 
     Histogram miss_hist({0.01, 0.05, 0.10, 0.20});
@@ -24,7 +24,7 @@ main(int argc, char **argv)
 
     for (double goal : paperGoalSweep()) {
         for (const auto &[qos, bg] : pairs) {
-            CaseResult r = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult r = runCase(runner, {qos, bg}, {goal, 0.0},
                                       "naive");
             const KernelResult &k = r.kernels[0];
             total++;

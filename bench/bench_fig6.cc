@@ -20,7 +20,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    Runner runner(runnerOptions(args));
+    Runner runner = makeRunner(args);
     auto pairs = selectedPairs(args);
     auto trios = selectedTrios(args);
 
@@ -39,7 +39,7 @@ main(int argc, char **argv)
         for (std::size_t i = 0; i < schemes.size(); ++i) {
             ReachStat rs;
             for (const auto &[qos, bg] : pairs) {
-                CaseResult r = runner.run({qos, bg}, {goal, 0.0},
+                CaseResult r = runCase(runner, {qos, bg}, {goal, 0.0},
                                           schemes[i]);
                 rs.add(r.allReached());
                 avg[i].add(r.allReached());
@@ -60,9 +60,9 @@ main(int argc, char **argv)
     for (double goal : paperGoalSweep()) {
         ReachStat sp, ro;
         for (const auto &t : trios) {
-            CaseResult rs = runner.run({t[0], t[1], t[2]},
+            CaseResult rs = runCase(runner, {t[0], t[1], t[2]},
                                        {goal, 0.0, 0.0}, "spart");
-            CaseResult rr = runner.run({t[0], t[1], t[2]},
+            CaseResult rr = runCase(runner, {t[0], t[1], t[2]},
                                        {goal, 0.0, 0.0}, "rollover");
             sp.add(rs.allReached());
             ro.add(rr.allReached());
@@ -82,9 +82,9 @@ main(int argc, char **argv)
     for (double goal : paperDualGoalSweep()) {
         ReachStat sp, ro;
         for (const auto &t : trios) {
-            CaseResult rs = runner.run({t[0], t[1], t[2]},
+            CaseResult rs = runCase(runner, {t[0], t[1], t[2]},
                                        {goal, goal, 0.0}, "spart");
-            CaseResult rr = runner.run({t[0], t[1], t[2]},
+            CaseResult rr = runCase(runner, {t[0], t[1], t[2]},
                                        {goal, goal, 0.0},
                                        "rollover");
             sp.add(rs.allReached());

@@ -15,7 +15,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    Runner runner(runnerOptions(args));
+    Runner runner = makeRunner(args);
     auto pairs = selectedPairs(args);
 
     std::map<std::string, ReachStat> per_kernel_sp, per_kernel_ro;
@@ -23,9 +23,9 @@ main(int argc, char **argv)
 
     for (double goal : paperGoalSweep()) {
         for (const auto &[qos, bg] : pairs) {
-            CaseResult rs = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult rs = runCase(runner, {qos, bg}, {goal, 0.0},
                                        "spart");
-            CaseResult rr = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult rr = runCase(runner, {qos, bg}, {goal, 0.0},
                                        "rollover");
             per_kernel_sp[qos].add(rs.allReached());
             per_kernel_ro[qos].add(rr.allReached());

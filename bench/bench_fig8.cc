@@ -26,9 +26,9 @@ pairsTable(Runner &runner,
     for (double goal : paperGoalSweep()) {
         MeanStat sp, ro;
         for (const auto &[qos, bg] : pairs) {
-            CaseResult rs = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult rs = runCase(runner, {qos, bg}, {goal, 0.0},
                                        "spart");
-            CaseResult rr = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult rr = runCase(runner, {qos, bg}, {goal, 0.0},
                                        "rollover");
             if (rs.allReached()) {
                 sp.add(rs.nonQosThroughput());
@@ -61,9 +61,9 @@ triosTable(Runner &runner,
             std::vector<double> gf = {goal, 0.0, 0.0};
             if (num_qos == 2)
                 gf[1] = goal;
-            CaseResult rs = runner.run({t[0], t[1], t[2]}, gf,
+            CaseResult rs = runCase(runner, {t[0], t[1], t[2]}, gf,
                                        "spart");
-            CaseResult rr = runner.run({t[0], t[1], t[2]}, gf,
+            CaseResult rr = runCase(runner, {t[0], t[1], t[2]}, gf,
                                        "rollover");
             if (rs.allReached()) {
                 sp.add(rs.nonQosThroughput());
@@ -88,7 +88,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    Runner runner(runnerOptions(args));
+    Runner runner = makeRunner(args);
     auto pairs = selectedPairs(args);
     auto trios = selectedTrios(args);
 

@@ -15,7 +15,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    Runner runner(runnerOptions(args));
+    Runner runner = makeRunner(args);
     auto pairs = selectedPairs(args);
 
     printHeader("Figure 9: QoS throughput normalized to goal "
@@ -25,9 +25,9 @@ main(int argc, char **argv)
     for (double goal : paperGoalSweep()) {
         MeanStat sp, ro;
         for (const auto &[qos, bg] : pairs) {
-            CaseResult rs = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult rs = runCase(runner, {qos, bg}, {goal, 0.0},
                                        "spart");
-            CaseResult rr = runner.run({qos, bg}, {goal, 0.0},
+            CaseResult rr = runCase(runner, {qos, bg}, {goal, 0.0},
                                        "rollover");
             if (rs.allReached()) {
                 sp.add(rs.qosOvershoot());

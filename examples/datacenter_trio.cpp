@@ -10,6 +10,7 @@
  *                        [--goals 0.5,0.4] [--cycles 300000]
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/cli.hh"
@@ -34,8 +35,10 @@ main(int argc, char **argv)
 
     Runner::Options ropts;
     ropts.cycles = cycles;
+    ropts.warmupCycles = std::min<Cycle>(ropts.warmupCycles,
+                                         cycles / 5);
     ropts.useCache = false;
-    Runner runner(ropts);
+    Runner runner = okOrDie(Runner::make(ropts));
 
     double g0 = std::strtod(goal_strs[0].c_str(), nullptr);
     double g1 = std::strtod(goal_strs[1].c_str(), nullptr);
@@ -45,7 +48,8 @@ main(int argc, char **argv)
                 kernels[1].c_str(), 100 * g1, kernels[2].c_str());
 
     for (const char *policy : {"rollover", "spart"}) {
-        CaseResult r = runner.run(kernels, {g0, g1, 0.0}, policy);
+        CaseResult r = okOrDie(
+            runner.run(kernels, {g0, g1, 0.0}, policy));
         std::printf("[%s]\n", policy);
         for (const auto &k : r.kernels) {
             if (k.isQos) {

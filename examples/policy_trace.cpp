@@ -8,6 +8,7 @@
  *                     [--policy rollover] [--cycles 200000]
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/cli.hh"
@@ -33,8 +34,10 @@ main(int argc, char **argv)
     // Isolated baselines for the goal translation.
     Runner::Options ropts;
     ropts.cycles = cycles;
+    ropts.warmupCycles = std::min<Cycle>(ropts.warmupCycles,
+                                         cycles / 5);
     ropts.useCache = false;
-    Runner runner(ropts);
+    Runner runner = okOrDie(Runner::make(ropts));
 
     GpuConfig cfg = runner.config();
     std::vector<const KernelDesc *> descs;
@@ -43,7 +46,7 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < kernels.size(); ++i) {
         descs.push_back(&parboilKernel(kernels[i]));
         double frac = std::strtod(goal_strs[i].c_str(), nullptr);
-        iso.push_back(runner.isolatedIpc(kernels[i]));
+        iso.push_back(okOrDie(runner.isolatedIpc(kernels[i])));
         specs.push_back(frac > 0.0
                             ? QosSpec::qos(frac * iso.back())
                             : QosSpec::nonQos());
@@ -55,7 +58,7 @@ main(int argc, char **argv)
 
     Gpu gpu(cfg);
     gpu.launch(descs);
-    auto pol = makePolicy(policy, specs, cfg);
+    auto pol = okOrDie(makePolicy(policy, specs, cfg));
     pol->onLaunch(gpu);
 
     std::printf("# policy: %s\n", pol->name().c_str());

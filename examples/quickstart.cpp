@@ -8,6 +8,7 @@
  *                   [--cycles 200000] [--policy rollover]
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/cli.hh"
@@ -27,23 +28,25 @@ main(int argc, char **argv)
 
     Runner::Options opts;
     opts.cycles = args.getInt("cycles", 200000);
+    opts.warmupCycles = std::min<Cycle>(opts.warmupCycles,
+                                        opts.cycles / 5);
     opts.useCache = false;
-    Runner runner(opts);
+    Runner runner = okOrDie(Runner::make(opts));
 
     std::printf("GPU: %s\n", runner.config().summary().c_str());
     std::printf("QoS kernel: %s (goal: %.0f%% of isolated IPC)\n",
                 qos_kernel.c_str(), 100.0 * goal);
     std::printf("best-effort kernel: %s\n\n", bg_kernel.c_str());
 
-    double iso_qos = runner.isolatedIpc(qos_kernel);
-    double iso_bg = runner.isolatedIpc(bg_kernel);
+    double iso_qos = okOrDie(runner.isolatedIpc(qos_kernel));
+    double iso_bg = okOrDie(runner.isolatedIpc(bg_kernel));
     std::printf("isolated IPC: %s=%.1f  %s=%.1f\n\n",
                 qos_kernel.c_str(), iso_qos, bg_kernel.c_str(),
                 iso_bg);
 
     for (const std::string &pol : {policy, std::string("spart")}) {
-        CaseResult r = runner.run({qos_kernel, bg_kernel},
-                                  {goal, 0.0}, pol);
+        CaseResult r = okOrDie(runner.run({qos_kernel, bg_kernel},
+                                          {goal, 0.0}, pol));
         const KernelResult &q = r.kernels[0];
         const KernelResult &b = r.kernels[1];
         std::printf("[%s]\n", pol.c_str());

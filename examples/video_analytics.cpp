@@ -12,6 +12,7 @@
  *                        [--cycles 250000]
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/cli.hh"
@@ -34,8 +35,10 @@ main(int argc, char **argv)
 
     Runner::Options ropts;
     ropts.cycles = cycles;
+    ropts.warmupCycles = std::min<Cycle>(ropts.warmupCycles,
+                                         cycles / 5);
     ropts.useCache = false;
-    Runner runner(ropts);
+    Runner runner = okOrDie(Runner::make(ropts));
     GpuConfig cfg = runner.config();
 
     // One kernel launch processes one frame. Work per frame in
@@ -47,7 +50,7 @@ main(int argc, char **argv)
     // Section 3.2: IPC = instructions / (freq x execution time).
     double ipc_goal = ipcGoalFromRate(instr_per_frame, 1.0 / fps,
                                       cfg.coreFreqGhz);
-    double iso = runner.isolatedIpc(video);
+    double iso = okOrDie(runner.isolatedIpc(video));
     std::printf("video kernel '%s': %.3g instr/frame, %g fps "
                 "=> IPC goal %.1f (isolated IPC %.1f, %.0f%%)\n",
                 video.c_str(), instr_per_frame, fps, ipc_goal, iso,
@@ -64,7 +67,7 @@ main(int argc, char **argv)
                                   QosSpec::nonQos()};
     Gpu gpu(cfg);
     gpu.launch(descs);
-    auto policy = makePolicy("rollover", specs, cfg);
+    auto policy = okOrDie(makePolicy("rollover", specs, cfg));
     policy->onLaunch(gpu);
     for (Cycle c = 0; c < cycles; ++c) {
         policy->onCycle(gpu);
@@ -82,7 +85,7 @@ main(int argc, char **argv)
                     gpu.dispatchState(0).launches));
     std::printf("training kernel '%s': %.1f IPC (%.0f%% of "
                 "isolated %.1f)\n", train.c_str(), gpu.ipc(1),
-                100.0 * gpu.ipc(1) / runner.isolatedIpc(train),
-                runner.isolatedIpc(train));
+                100.0 * gpu.ipc(1) / okOrDie(runner.isolatedIpc(train)),
+                okOrDie(runner.isolatedIpc(train)));
     return 0;
 }

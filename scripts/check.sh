@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+#
+# Tier-1 gate: configure, build and run the full test suite under
+# the plain Release preset and again under ASan+UBSan.
+#
+#   scripts/check.sh            # both presets
+#   scripts/check.sh default    # just the fast one
+#   scripts/check.sh asan       # just the sanitized one
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+    presets=(default asan)
+fi
+
+for preset in "${presets[@]}"; do
+    echo "==> [$preset] configure"
+    cmake --preset "$preset"
+    echo "==> [$preset] build"
+    cmake --build --preset "$preset" -j "$(nproc)"
+    echo "==> [$preset] test"
+    ctest --preset "$preset"
+done
+
+echo "==> all checks passed"

@@ -7,43 +7,57 @@
 
 #include <sstream>
 
+#include "common/fault_injection.hh"
 #include "common/logging.hh"
 
 namespace gqos
 {
 
+Result<void>
+GpuConfig::check() const
+{
+    auto fail = [](auto... args) -> Result<void> {
+        return Error::format(ErrorCode::InvalidArgument, args...);
+    };
+    if (numSms < 1 || numSms > 256)
+        return fail("numSms=%d out of range [1,256]", numSms);
+    if (numMemPartitions < 1)
+        return fail("numMemPartitions must be >= 1");
+    if (maxThreadsPerSm % warpSize != 0)
+        return fail("maxThreadsPerSm must be a multiple of %d",
+                    warpSize);
+    if (warpSchedulersPerSm < 1)
+        return fail("warpSchedulersPerSm must be >= 1");
+    if (maxWarpsPerSm() % warpSchedulersPerSm != 0)
+        return fail("warps per SM (%d) must divide evenly among %d "
+                    "schedulers", maxWarpsPerSm(),
+                    warpSchedulersPerSm);
+    if (warpsPerScheduler() > 64)
+        return fail("more than 64 warps per scheduler is not "
+                    "supported (ready masks are 64-bit)");
+    if (l1Bytes % (l1Assoc * lineSizeBytes) != 0)
+        return fail("L1 size must divide into %d-way %dB sets",
+                    l1Assoc, lineSizeBytes);
+    if (l2BytesPerPartition % (l2Assoc * lineSizeBytes) != 0)
+        return fail("L2 size must divide into %d-way %dB sets",
+                    l2Assoc, lineSizeBytes);
+    if (epochLength < 100)
+        return fail("epochLength=%llu too small",
+                    static_cast<unsigned long long>(epochLength));
+    if (iwSamplesPerEpoch < 1 ||
+        static_cast<Cycle>(iwSamplesPerEpoch) > epochLength)
+        return fail("iwSamplesPerEpoch out of range");
+    if (dramSlotsPerCycle <= 0.0)
+        return fail("dramSlotsPerCycle must be positive");
+    return {};
+}
+
 void
 GpuConfig::validate() const
 {
-    if (numSms < 1 || numSms > 256)
-        gqos_fatal("numSms=%d out of range [1,256]", numSms);
-    if (numMemPartitions < 1)
-        gqos_fatal("numMemPartitions must be >= 1");
-    if (maxThreadsPerSm % warpSize != 0)
-        gqos_fatal("maxThreadsPerSm must be a multiple of %d",
-                   warpSize);
-    if (warpSchedulersPerSm < 1)
-        gqos_fatal("warpSchedulersPerSm must be >= 1");
-    if (maxWarpsPerSm() % warpSchedulersPerSm != 0)
-        gqos_fatal("warps per SM (%d) must divide evenly among %d "
-                   "schedulers", maxWarpsPerSm(), warpSchedulersPerSm);
-    if (warpsPerScheduler() > 64)
-        gqos_fatal("more than 64 warps per scheduler is not "
-                   "supported (ready masks are 64-bit)");
-    if (l1Bytes % (l1Assoc * lineSizeBytes) != 0)
-        gqos_fatal("L1 size must divide into %d-way %dB sets",
-                   l1Assoc, lineSizeBytes);
-    if (l2BytesPerPartition % (l2Assoc * lineSizeBytes) != 0)
-        gqos_fatal("L2 size must divide into %d-way %dB sets",
-                   l2Assoc, lineSizeBytes);
-    if (epochLength < 100)
-        gqos_fatal("epochLength=%llu too small",
-                   static_cast<unsigned long long>(epochLength));
-    if (iwSamplesPerEpoch < 1 ||
-        static_cast<Cycle>(iwSamplesPerEpoch) > epochLength)
-        gqos_fatal("iwSamplesPerEpoch out of range");
-    if (dramSlotsPerCycle <= 0.0)
-        gqos_fatal("dramSlotsPerCycle must be positive");
+    Result<void> r = check();
+    if (!r.ok())
+        gqos_fatal("%s", r.error().message().c_str());
 }
 
 std::string
@@ -79,6 +93,29 @@ largeConfig()
     cfg.icntFlitsPerCycle = 24;
     cfg.validate();
     return cfg;
+}
+
+Result<GpuConfig>
+configByName(const std::string &name)
+{
+    if (faultAt("config_parse")) {
+        return Error::format(ErrorCode::FaultInjected,
+                             "injected config-parse failure for '%s'",
+                             name.c_str());
+    }
+    if (name == "default")
+        return defaultConfig();
+    if (name == "large")
+        return largeConfig();
+    return Error::format(ErrorCode::NotFound,
+                         "unknown config '%s' (known: default, "
+                         "large)", name.c_str());
+}
+
+std::vector<std::string>
+knownConfigs()
+{
+    return {"default", "large"};
 }
 
 } // namespace gqos

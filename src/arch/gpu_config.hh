@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "arch/types.hh"
+#include "common/result.hh"
 
 namespace gqos
 {
@@ -89,7 +91,18 @@ struct GpuConfig
     /** Base seed mixed into every kernel's instruction stream. */
     std::uint64_t seed = 1;
 
-    /** Die on inconsistent parameters (user error -> fatal()). */
+    /**
+     * Check parameter consistency, reporting the first problem as a
+     * recoverable error. This is the primary validation entry;
+     * callers on user-input paths must propagate the Result.
+     */
+    Result<void> check() const;
+
+    /**
+     * Assert consistency for programmatically built configs (presets
+     * and tests): fatal() on the first problem. User-supplied
+     * configurations must go through check()/configByName() instead.
+     */
     void validate() const;
 
     /** Registers (4B each) available per SM. */
@@ -117,6 +130,16 @@ GpuConfig defaultConfig();
  * schedulers each (Pascal GP100-like).
  */
 GpuConfig largeConfig();
+
+/**
+ * Look up a configuration preset by name ("default" or "large").
+ * Unknown names and fault-injected parse failures (site
+ * "config_parse") come back as errors, never fatal().
+ */
+Result<GpuConfig> configByName(const std::string &name);
+
+/** Names accepted by configByName(). */
+std::vector<std::string> knownConfigs();
 
 } // namespace gqos
 

@@ -31,53 +31,68 @@ KernelDesc::contextBytesPerTb() const
     return static_cast<std::uint64_t>(regsPerTb()) * 4 + smemPerTb;
 }
 
-void
-KernelDesc::validate() const
+Result<void>
+KernelDesc::check() const
 {
+    auto fail = [](auto... args) -> Result<void> {
+        return Error::format(ErrorCode::InvalidArgument, args...);
+    };
     if (name.empty())
-        gqos_fatal("kernel has no name");
+        return fail("kernel has no name");
     if (threadsPerTb <= 0 || threadsPerTb % warpSize != 0)
-        gqos_fatal("%s: threadsPerTb=%d must be a positive multiple "
-                   "of %d", name.c_str(), threadsPerTb, warpSize);
+        return fail("%s: threadsPerTb=%d must be a positive "
+                    "multiple of %d", name.c_str(), threadsPerTb,
+                    warpSize);
     if (regsPerThread < 1 || regsPerThread > 255)
-        gqos_fatal("%s: regsPerThread=%d out of range", name.c_str(),
-                   regsPerThread);
+        return fail("%s: regsPerThread=%d out of range",
+                    name.c_str(), regsPerThread);
     if (smemPerTb < 0)
-        gqos_fatal("%s: negative shared memory", name.c_str());
+        return fail("%s: negative shared memory", name.c_str());
     if (gridTbs < 1)
-        gqos_fatal("%s: gridTbs must be >= 1", name.c_str());
+        return fail("%s: gridTbs must be >= 1", name.c_str());
     if (warpInstrPerTb < 1)
-        gqos_fatal("%s: warpInstrPerTb must be >= 1", name.c_str());
+        return fail("%s: warpInstrPerTb must be >= 1", name.c_str());
     if (phases.empty())
-        gqos_fatal("%s: kernel needs at least one phase",
-                   name.c_str());
+        return fail("%s: kernel needs at least one phase",
+                    name.c_str());
     if (tbVariance < 0.0 || tbVariance > 0.5)
-        gqos_fatal("%s: tbVariance out of [0,0.5]", name.c_str());
+        return fail("%s: tbVariance out of [0,0.5]", name.c_str());
     for (const auto &p : phases) {
         if (p.weight <= 0.0)
-            gqos_fatal("%s: phase weight must be positive",
-                       name.c_str());
+            return fail("%s: phase weight must be positive",
+                        name.c_str());
         if (p.memRatio < 0.0 || p.memRatio > 1.0 ||
             p.sharedRatio < 0.0 || p.sfuRatio < 0.0 ||
             p.memRatio + p.sharedRatio + p.sfuRatio > 1.0) {
-            gqos_fatal("%s: phase instruction mix out of range",
-                       name.c_str());
+            return fail("%s: phase instruction mix out of range",
+                        name.c_str());
         }
         if (p.avgTransPerMem < 1.0 || p.avgTransPerMem > warpSize)
-            gqos_fatal("%s: avgTransPerMem out of [1,%d]",
-                       name.c_str(), warpSize);
+            return fail("%s: avgTransPerMem out of [1,%d]",
+                        name.c_str(), warpSize);
         if (p.hotFraction < 0.0 || p.hotFraction > 1.0)
-            gqos_fatal("%s: hotFraction out of [0,1]", name.c_str());
+            return fail("%s: hotFraction out of [0,1]",
+                        name.c_str());
         if (p.hotLines < 1)
-            gqos_fatal("%s: hotLines must be >= 1", name.c_str());
+            return fail("%s: hotLines must be >= 1", name.c_str());
         if (p.activeLanes < 1.0 || p.activeLanes > warpSize)
-            gqos_fatal("%s: activeLanes out of [1,%d]", name.c_str(),
-                       warpSize);
+            return fail("%s: activeLanes out of [1,%d]",
+                        name.c_str(), warpSize);
         if (p.aluLatency < 1)
-            gqos_fatal("%s: aluLatency must be >= 1", name.c_str());
+            return fail("%s: aluLatency must be >= 1", name.c_str());
         if (p.smemConflict < 1.0)
-            gqos_fatal("%s: smemConflict must be >= 1", name.c_str());
+            return fail("%s: smemConflict must be >= 1",
+                        name.c_str());
     }
+    return {};
+}
+
+void
+KernelDesc::validate() const
+{
+    Result<void> r = check();
+    if (!r.ok())
+        gqos_fatal("%s", r.error().message().c_str());
 }
 
 std::vector<double>

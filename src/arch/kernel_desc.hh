@@ -95,7 +95,14 @@ struct KernelDesc
     /** Context bytes moved when preempting one TB (regs + smem). */
     std::uint64_t contextBytesPerTb() const;
 
-    /** Die on inconsistent parameters. */
+    /**
+     * Check parameter consistency; the first problem comes back as
+     * a recoverable error. User-supplied descriptors must propagate
+     * the Result.
+     */
+    Result<void> check() const;
+
+    /** Assert consistency (fatal()) for compiled-in descriptors. */
     void validate() const;
 };
 

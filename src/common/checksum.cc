@@ -1,0 +1,43 @@
+/**
+ * @file
+ * CRC32 implementation (table-driven, one table entry per byte
+ * value, generated once at first use).
+ */
+
+#include "common/checksum.hh"
+
+#include <array>
+
+namespace gqos
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+} // anonymous namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t len, std::uint32_t crc)
+{
+    static const std::array<std::uint32_t, 256> table = makeTable();
+    const auto *p = static_cast<const unsigned char *>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+    return ~crc;
+}
+
+} // namespace gqos

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to
+ * validate on-disk artifacts such as the result cache. Incremental:
+ * pass the previous return value as @p crc to extend a checksum.
+ */
+
+#ifndef GQOS_COMMON_CHECKSUM_HH
+#define GQOS_COMMON_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gqos
+{
+
+/** CRC32 of @p len bytes at @p data, chained from @p crc. */
+std::uint32_t crc32(const void *data, std::size_t len,
+                    std::uint32_t crc = 0);
+
+/** CRC32 of a string. */
+inline std::uint32_t
+crc32(std::string_view text, std::uint32_t crc = 0)
+{
+    return crc32(text.data(), text.size(), crc);
+}
+
+} // namespace gqos
+
+#endif // GQOS_COMMON_CHECKSUM_HH

@@ -5,6 +5,7 @@
 
 #include "common/cli.hh"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -55,15 +56,46 @@ CliArgs::getString(const std::string &name, const std::string &def) const
     return it == values_.end() ? def : it->second;
 }
 
+namespace
+{
+
+/**
+ * Strict numeric parses: the whole token must be consumed, so
+ * "10k", "1.5x" or an empty value are rejected rather than silently
+ * truncated to their numeric prefix.
+ */
+bool
+parseFullInt(const std::string &text, std::int64_t &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtoll(text.c_str(), &end, 0);
+    return end == text.c_str() + text.size() && errno != ERANGE;
+}
+
+bool
+parseFullDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end == text.c_str() + text.size() && errno != ERANGE;
+}
+
+} // anonymous namespace
+
 std::int64_t
 CliArgs::getInt(const std::string &name, std::int64_t def) const
 {
     auto it = values_.find(name);
     if (it == values_.end())
         return def;
-    char *end = nullptr;
-    std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
-    if (end == it->second.c_str() || *end != '\0')
+    std::int64_t v = 0;
+    if (!parseFullInt(it->second, v))
         gqos_fatal("option --%s expects an integer, got '%s'",
                    name.c_str(), it->second.c_str());
     return v;
@@ -75,9 +107,8 @@ CliArgs::getDouble(const std::string &name, double def) const
     auto it = values_.find(name);
     if (it == values_.end())
         return def;
-    char *end = nullptr;
-    double v = std::strtod(it->second.c_str(), &end);
-    if (end == it->second.c_str() || *end != '\0')
+    double v = 0.0;
+    if (!parseFullDouble(it->second, v))
         gqos_fatal("option --%s expects a number, got '%s'",
                    name.c_str(), it->second.c_str());
     return v;

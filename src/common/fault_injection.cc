@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fault-injector implementation.
+ */
+
+#include "common/fault_injection.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace gqos
+{
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector *injector = [] {
+        auto *fi = new FaultInjector();
+        fi->reloadFromEnv();
+        return fi;
+    }();
+    return *injector;
+}
+
+void
+FaultInjector::reloadFromEnv()
+{
+    clear();
+    if (const char *seed = std::getenv(seedEnvVar)) {
+        char *end = nullptr;
+        std::uint64_t s = std::strtoull(seed, &end, 0);
+        if (end != seed && *end == '\0') {
+            reseed(s);
+        } else {
+            gqos_warn("%s='%s' is not an integer seed; using 1",
+                      seedEnvVar, seed);
+        }
+    }
+    if (const char *spec = std::getenv(specEnvVar))
+        configure(spec);
+}
+
+int
+FaultInjector::configure(const std::string &spec)
+{
+    int accepted = 0;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string entry = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty())
+            continue;
+        std::size_t colon = entry.find(':');
+        bool bad = colon == std::string::npos || colon == 0;
+        double prob = 0.0;
+        if (!bad) {
+            const std::string text = entry.substr(colon + 1);
+            char *end = nullptr;
+            prob = std::strtod(text.c_str(), &end);
+            bad = end == text.c_str() || *end != '\0' ||
+                  prob < 0.0 || prob > 1.0;
+        }
+        if (bad) {
+            gqos_warn("%s: skipping malformed entry '%s' "
+                      "(want site:probability with probability in "
+                      "[0,1])", specEnvVar, entry.c_str());
+            continue;
+        }
+        setRate(entry.substr(0, colon), prob);
+        accepted++;
+    }
+    return accepted;
+}
+
+void
+FaultInjector::setRate(const std::string &site, double probability)
+{
+    if (probability <= 0.0) {
+        sites_.erase(site);
+    } else {
+        sites_[site].probability = probability;
+    }
+    armed_ = !sites_.empty();
+}
+
+void
+FaultInjector::clear()
+{
+    sites_.clear();
+    armed_ = false;
+    rng_.reseed(1);
+}
+
+void
+FaultInjector::reseed(std::uint64_t seed)
+{
+    rng_.reseed(seed);
+}
+
+bool
+FaultInjector::shouldFail(const char *site)
+{
+    if (!armed_)
+        return false;
+    auto it = sites_.find(site);
+    if (it == sites_.end())
+        return false;
+    Site &s = it->second;
+    s.checked++;
+    if (!rng_.chance(s.probability))
+        return false;
+    s.injected++;
+    gqos_debug("fault injected at site '%s' (#%llu)", site,
+               static_cast<unsigned long long>(s.injected));
+    return true;
+}
+
+std::uint64_t
+FaultInjector::checked(const std::string &site) const
+{
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.checked;
+}
+
+std::uint64_t
+FaultInjector::injected(const std::string &site) const
+{
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.injected;
+}
+
+} // namespace gqos

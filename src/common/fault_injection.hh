@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic fault injection for robustness testing.
+ *
+ * A process-wide FaultInjector decides, per named *site*, whether an
+ * operation should synthetically fail. Sites are cheap string tags
+ * compiled into the code (e.g. "cache_write", "cache_read",
+ * "config_parse", "quota_account"); a site that is not configured
+ * never fires and costs one branch.
+ *
+ * Configuration comes from the GQOS_FAULT environment variable
+ * ("site:probability[,site:probability...]", e.g.
+ * "cache_write:0.5,config_parse:0.01") read lazily on first use, or
+ * programmatically via setRate(). Draws come from the repo's own
+ * deterministic Rng, seeded by GQOS_FAULT_SEED (default 1), so a
+ * faulty run is exactly reproducible.
+ */
+
+#ifndef GQOS_COMMON_FAULT_INJECTION_HH
+#define GQOS_COMMON_FAULT_INJECTION_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/rng.hh"
+
+namespace gqos
+{
+
+/** Singleton fault-injection decision point. */
+class FaultInjector
+{
+  public:
+    /** The env vars consulted on first instance(). */
+    static constexpr const char *specEnvVar = "GQOS_FAULT";
+    static constexpr const char *seedEnvVar = "GQOS_FAULT_SEED";
+
+    /** The process-wide injector (env-configured on first call). */
+    static FaultInjector &instance();
+
+    /**
+     * Parse a "site:prob[,site:prob...]" spec and merge it into the
+     * active configuration. Malformed entries are skipped with a
+     * warn() — a bad GQOS_FAULT must never kill the run it is
+     * supposed to stress. Returns how many entries were accepted.
+     */
+    int configure(const std::string &spec);
+
+    /** Set one site's failure probability (0 disables the site). */
+    void setRate(const std::string &site, double probability);
+
+    /** Drop all configured sites and zero the counters. */
+    void clear();
+
+    /** Re-seed the decision stream (deterministic replay). */
+    void reseed(std::uint64_t seed);
+
+    /** Re-read GQOS_FAULT / GQOS_FAULT_SEED (clears first). */
+    void reloadFromEnv();
+
+    /**
+     * Should the operation at @p site fail now? Draws from the
+     * deterministic RNG only for configured sites.
+     */
+    bool shouldFail(const char *site);
+
+    /** Any site configured with probability > 0? */
+    bool enabled() const { return armed_; }
+
+    /** Times shouldFail(site) was consulted. */
+    std::uint64_t checked(const std::string &site) const;
+
+    /** Times shouldFail(site) returned true. */
+    std::uint64_t injected(const std::string &site) const;
+
+  private:
+    FaultInjector() = default;
+
+    struct Site
+    {
+        double probability = 0.0;
+        std::uint64_t checked = 0;
+        std::uint64_t injected = 0;
+    };
+
+    std::map<std::string, Site> sites_;
+    Rng rng_{1};
+    bool armed_ = false;
+};
+
+/** Shorthand used at injection sites. */
+inline bool
+faultAt(const char *site)
+{
+    FaultInjector &fi = FaultInjector::instance();
+    return fi.enabled() && fi.shouldFail(site);
+}
+
+} // namespace gqos
+
+#endif // GQOS_COMMON_FAULT_INJECTION_HH

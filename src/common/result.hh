@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Recoverable-error primitives.
+ *
+ * Result<T> carries either a value or an Error. It replaces
+ * fatal()/exit() on user-input paths (policy lookup, config lookup,
+ * harness construction and runs) so library code reports problems to
+ * its caller instead of killing the process. fatal() remains the
+ * correct response only at the CLI boundary (bench and examples),
+ * where okOrDie() converts an Error into the classic fatal exit.
+ */
+
+#ifndef GQOS_COMMON_RESULT_HH
+#define GQOS_COMMON_RESULT_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.hh"
+
+namespace gqos
+{
+
+/** Coarse classification of recoverable errors. */
+enum class ErrorCode
+{
+    InvalidArgument, //!< malformed or inconsistent user input
+    NotFound,        //!< unknown name (policy, kernel, config)
+    IoError,         //!< filesystem/OS operation failed
+    CorruptData,     //!< stored artifact failed validation
+    FaultInjected,   //!< synthetic failure from the fault injector
+    Stalled,         //!< simulation stopped making progress
+    Internal         //!< invariant violation surfaced as an error
+};
+
+/** Human-readable name of an ErrorCode. */
+const char *toString(ErrorCode code);
+
+/** A recoverable error: code plus a formatted message. */
+class Error
+{
+  public:
+    Error(ErrorCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    /** printf-style constructor helper. */
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    static Error
+    format(ErrorCode code, const char *fmt, ...)
+    {
+        va_list ap;
+        va_start(ap, fmt);
+        char buf[512];
+        std::vsnprintf(buf, sizeof(buf), fmt, ap);
+        va_end(ap);
+        return Error(code, buf);
+    }
+
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "<code>: <message>", for logs. */
+    std::string
+    describe() const
+    {
+        return std::string(toString(code_)) + ": " + message_;
+    }
+
+  private:
+    ErrorCode code_;
+    std::string message_;
+};
+
+inline const char *
+toString(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::InvalidArgument:
+        return "invalid-argument";
+      case ErrorCode::NotFound:
+        return "not-found";
+      case ErrorCode::IoError:
+        return "io-error";
+      case ErrorCode::CorruptData:
+        return "corrupt-data";
+      case ErrorCode::FaultInjected:
+        return "fault-injected";
+      case ErrorCode::Stalled:
+        return "stalled";
+      case ErrorCode::Internal:
+        return "internal";
+    }
+    return "?";
+}
+
+/**
+ * Value-or-Error. Accessing the wrong alternative is a programming
+ * bug and panics; check ok() (or use okOrDie() at the CLI boundary).
+ */
+template <typename T>
+class [[nodiscard]] Result
+{
+  public:
+    Result(T value) : v_(std::move(value)) {}
+    Result(Error error) : v_(std::move(error)) {}
+
+    bool ok() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return ok(); }
+
+    const Error &
+    error() const
+    {
+        if (ok())
+            gqos_panic("Result::error() on a success value");
+        return std::get<Error>(v_);
+    }
+
+    T &
+    value() &
+    {
+        requireOk();
+        return std::get<T>(v_);
+    }
+
+    const T &
+    value() const &
+    {
+        requireOk();
+        return std::get<T>(v_);
+    }
+
+    T &&
+    value() &&
+    {
+        requireOk();
+        return std::get<T>(std::move(v_));
+    }
+
+    T
+    valueOr(T def) const
+    {
+        return ok() ? std::get<T>(v_) : std::move(def);
+    }
+
+  private:
+    void
+    requireOk() const
+    {
+        if (!ok()) {
+            gqos_panic("Result::value() on an error: %s",
+                       std::get<Error>(v_).describe().c_str());
+        }
+    }
+
+    std::variant<T, Error> v_;
+};
+
+/** Result with no payload: success or Error. */
+template <>
+class [[nodiscard]] Result<void>
+{
+  public:
+    Result() = default;
+    Result(Error error) : err_(std::move(error)) {}
+
+    bool ok() const { return !err_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    const Error &
+    error() const
+    {
+        if (ok())
+            gqos_panic("Result::error() on a success value");
+        return *err_;
+    }
+
+  private:
+    std::optional<Error> err_;
+};
+
+/**
+ * CLI-boundary unwrap: return the value or fatal() with the error
+ * message. Only call this from main()-adjacent code in bench/ and
+ * examples/; library code must propagate the Result instead.
+ */
+template <typename T>
+T
+okOrDie(Result<T> r)
+{
+    if (!r.ok())
+        gqos_fatal("%s", r.error().describe().c_str());
+    return std::move(r).value();
+}
+
+inline void
+okOrDie(Result<void> r)
+{
+    if (!r.ok())
+        gqos_fatal("%s", r.error().describe().c_str());
+}
+
+} // namespace gqos
+
+#endif // GQOS_COMMON_RESULT_HH

@@ -4,6 +4,13 @@
  * translates goal fractions into absolute IPC goals against cached
  * isolated baselines, and memoizes results on disk so the benchmark
  * binaries for different figures share each other's runs.
+ *
+ * Robustness: user-input paths (construction, case runs) report
+ * recoverable errors through Result instead of exiting, the on-disk
+ * cache is versioned, CRC-protected, written atomically under an
+ * advisory lock, and corrupt lines are quarantined and transparently
+ * re-simulated. A watchdog aborts non-advancing simulations with a
+ * structured error instead of spinning forever.
  */
 
 #ifndef GQOS_HARNESS_RUNNER_HH
@@ -16,6 +23,7 @@
 
 #include "arch/gpu_config.hh"
 #include "arch/types.hh"
+#include "common/result.hh"
 
 namespace gqos
 {
@@ -81,7 +89,41 @@ struct CaseResult
 };
 
 /**
- * Case runner with on-disk memoization.
+ * Detects a simulation that stopped retiring instructions while
+ * warps are still live. Feed samples of (cycle, total retired
+ * instructions, any-live flag); observe() reports a stall once no
+ * instruction retired across a full window while work existed the
+ * whole time.
+ */
+class StallDetector
+{
+  public:
+    explicit StallDetector(Cycle window) : window_(window) {}
+
+    /** Record a sample; true once the stall condition holds. */
+    bool
+    observe(Cycle now, std::uint64_t instrs, bool anyLive)
+    {
+        if (!primed_ || instrs != lastInstrs_ || !anyLive) {
+            primed_ = true;
+            lastInstrs_ = instrs;
+            lastAdvance_ = now;
+            return false;
+        }
+        return now - lastAdvance_ >= window_;
+    }
+
+    Cycle window() const { return window_; }
+
+  private:
+    Cycle window_;
+    Cycle lastAdvance_ = 0;
+    std::uint64_t lastInstrs_ = 0;
+    bool primed_ = false;
+};
+
+/**
+ * Case runner with crash-safe on-disk memoization.
  */
 class Runner
 {
@@ -94,7 +136,7 @@ class Runner
          * converge. The paper's 2M-cycle runs make convergence
          * negligible; at our scaled-down window the warmup must be
          * excluded explicitly (applied identically to isolated
-         * baselines and co-runs).
+         * baselines and co-runs). Must be < cycles.
          */
         Cycle warmupCycles = 50000;
         std::string configName = "default"; //!< or "large"
@@ -105,10 +147,18 @@ class Runner
         bool freePreemption = false;
     };
 
-    explicit Runner(Options opts);
+    /**
+     * Validate @p opts (config name exists, cycles > warmupCycles)
+     * and build a runner. All user-input problems come back as
+     * errors; nothing in the harness exits the process.
+     */
+    static Result<Runner> make(Options opts);
+
+    Runner(Runner &&) = default;
+    Runner &operator=(Runner &&) = default;
 
     /** Isolated (full-GPU, single-kernel) IPC of @p kernel. */
-    double isolatedIpc(const std::string &kernel);
+    Result<double> isolatedIpc(const std::string &kernel);
 
     /**
      * Run one co-run case.
@@ -117,15 +167,24 @@ class Runner
      *                  IPC; 0 marks a non-QoS kernel
      * @param policy policy name (see makePolicy())
      */
-    CaseResult run(const std::vector<std::string> &kernels,
-                   const std::vector<double> &goal_frac,
-                   const std::string &policy);
+    Result<CaseResult> run(const std::vector<std::string> &kernels,
+                           const std::vector<double> &goal_frac,
+                           const std::string &policy);
 
     const GpuConfig &config() const { return cfg_; }
     const Options &options() const { return opts_; }
 
     /** Cases simulated (not served from cache) so far. */
     int simulatedCases() const { return simulated_; }
+
+    /** Cache lines quarantined by the last loadCache(). */
+    int quarantinedLines() const { return quarantined_; }
+
+    /** On-disk cache file backing this runner ("" if disabled). */
+    const std::string &cachePath() const { return cachePath_; }
+
+    /** Header line expected at the top of every cache file. */
+    static constexpr const char *cacheHeader = "#gqos-cache v2";
 
   private:
     struct CachedCase
@@ -136,12 +195,17 @@ class Runner
         double dramPerKcycle;
     };
 
+    Runner(Options opts, GpuConfig cfg);
+
     std::string caseKey(const std::vector<std::string> &kernels,
                         const std::vector<double> &goal_frac,
                         const std::string &policy) const;
-    CachedCase simulate(const std::vector<std::string> &kernels,
-                        const std::vector<double> &goal_frac,
-                        const std::string &policy);
+    static bool parseCacheLine(const std::string &line,
+                               std::string &key, CachedCase &c);
+    Result<CachedCase> simulate(
+        const std::vector<std::string> &kernels,
+        const std::vector<double> &goal_frac,
+        const std::string &policy);
     void loadCache();
     void appendCache(const std::string &key, const CachedCase &c);
 
@@ -150,6 +214,7 @@ class Runner
     std::string cachePath_;
     std::map<std::string, CachedCase> cache_;
     int simulated_ = 0;
+    int quarantined_ = 0;
 };
 
 /** Standard goal sweep of the paper: 50%..95% step 5%. */

@@ -13,15 +13,18 @@
 namespace gqos
 {
 
-std::unique_ptr<SharingPolicy>
+Result<std::unique_ptr<SharingPolicy>>
 makePolicy(const std::string &scheme, std::vector<QosSpec> specs,
            const GpuConfig &cfg)
 {
-    if (scheme == "even")
-        return std::make_unique<EvenSharePolicy>();
+    if (scheme == "even") {
+        return std::unique_ptr<SharingPolicy>(
+            std::make_unique<EvenSharePolicy>());
+    }
     if (scheme == "spart") {
-        return std::make_unique<SpartPolicy>(
-            std::move(specs), SpartOptions{}, cfg.epochLength);
+        return std::unique_ptr<SharingPolicy>(
+            std::make_unique<SpartPolicy>(
+                std::move(specs), SpartOptions{}, cfg.epochLength));
     }
 
     FineGrainOptions opts;
@@ -42,17 +45,24 @@ makePolicy(const std::string &scheme, std::vector<QosSpec> specs,
     if (strip("-time"))
         opts.quota.timeMux = true;
 
-    if (base == "naive")
+    if (base == "naive") {
         opts.quota.scheme = QuotaScheme::Naive;
-    else if (base == "elastic")
+    } else if (base == "elastic") {
         opts.quota.scheme = QuotaScheme::Elastic;
-    else if (base == "rollover")
+    } else if (base == "rollover") {
         opts.quota.scheme = QuotaScheme::Rollover;
-    else
-        gqos_fatal("unknown policy '%s'", scheme.c_str());
+    } else {
+        std::string known;
+        for (const auto &n : knownPolicies())
+            known += (known.empty() ? "" : ", ") + n;
+        return Error::format(ErrorCode::NotFound,
+                             "unknown policy '%s' (known: %s)",
+                             scheme.c_str(), known.c_str());
+    }
 
-    return std::make_unique<FineGrainQosPolicy>(
-        std::move(specs), opts, cfg.epochLength);
+    return std::unique_ptr<SharingPolicy>(
+        std::make_unique<FineGrainQosPolicy>(
+            std::move(specs), opts, cfg.epochLength));
 }
 
 std::vector<std::string>

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "arch/gpu_config.hh"
+#include "common/result.hh"
 #include "policy/sharing_policy.hh"
 #include "qos/qos_spec.hh"
 
@@ -29,9 +30,10 @@ namespace gqos
  *  - "spart": spatial partitioning with hill climbing
  *  - "even": QoS-oblivious even fine-grained sharing
  *
- * fatal() on unknown names.
+ * Unknown names come back as a NotFound error; callers on user-input
+ * paths propagate it, the CLI boundary turns it into fatal().
  */
-std::unique_ptr<SharingPolicy> makePolicy(
+Result<std::unique_ptr<SharingPolicy>> makePolicy(
     const std::string &scheme, std::vector<QosSpec> specs,
     const GpuConfig &cfg);
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.hh"
 #include "common/logging.hh"
 
 namespace gqos
@@ -95,6 +96,15 @@ QuotaController::distributeQuota(Gpu &gpu, KernelId k,
                     gpu.residentTbs(s, k) / total_tbs;
         } else {
             share = total_quota / num_sms;
+        }
+        // Fault site "quota_account": drop this SM's share for one
+        // epoch. The next epoch's history-based adjustment (alpha)
+        // observes the shortfall and compensates, demonstrating
+        // graceful degradation under accounting glitches.
+        if (faultAt("quota_account")) {
+            gqos_debug("fault injection: dropped quota share of "
+                       "kernel %d on SM %d", k, s);
+            share = 0.0;
         }
         localQuota_[s][k] = share;
     }

@@ -420,14 +420,28 @@ parboilNames()
     return names;
 }
 
-const KernelDesc &
-parboilKernel(const std::string &name)
+Result<const KernelDesc *>
+findParboilKernel(const std::string &name)
 {
     for (const auto &d : parboilSuite()) {
         if (d.name == name)
-            return d;
+            return &d;
     }
-    gqos_fatal("unknown Parboil kernel '%s'", name.c_str());
+    std::string known;
+    for (const auto &n : parboilNames())
+        known += (known.empty() ? "" : ", ") + n;
+    return Error::format(ErrorCode::NotFound,
+                         "unknown Parboil kernel '%s' (known: %s)",
+                         name.c_str(), known.c_str());
+}
+
+const KernelDesc &
+parboilKernel(const std::string &name)
+{
+    Result<const KernelDesc *> r = findParboilKernel(name);
+    if (!r.ok())
+        gqos_fatal("%s", r.error().message().c_str());
+    return *r.value();
 }
 
 bool

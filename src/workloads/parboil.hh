@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "arch/kernel_desc.hh"
+#include "common/result.hh"
 
 namespace gqos
 {
@@ -35,7 +36,14 @@ const std::vector<KernelDesc> &parboilSuite();
 /** Names of all suite kernels, in suite order. */
 std::vector<std::string> parboilNames();
 
-/** Look up a suite kernel by name; fatal() if unknown. */
+/**
+ * Look up a suite kernel by name; unknown names come back as a
+ * NotFound error listing the valid kernels. The returned pointer
+ * aims at the static suite and stays valid for the process.
+ */
+Result<const KernelDesc *> findParboilKernel(const std::string &name);
+
+/** Look up a suite kernel by name; fatal() if unknown (CLI use). */
 const KernelDesc &parboilKernel(const std::string &name);
 
 /** True if @p name is a suite kernel. */

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * CRC32 (IEEE 802.3) used to seal result-cache lines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/checksum.hh"
+
+namespace gqos
+{
+namespace
+{
+
+TEST(Crc32, KnownVectors)
+{
+    // The canonical check value for the reflected IEEE polynomial.
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32(""), 0x00000000u);
+    EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip)
+{
+    std::string payload = "sgemm+lbm;0.5;rollover;412.7;120.3";
+    std::uint32_t good = crc32(payload);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        std::string bad = payload;
+        bad[i] ^= 0x01;
+        EXPECT_NE(crc32(bad), good) << "flip at " << i;
+    }
+}
+
+TEST(Crc32, DetectsTruncation)
+{
+    std::string payload = "key;1,2,3;4;5;6;";
+    std::uint32_t good = crc32(payload);
+    for (std::size_t n = 0; n < payload.size(); ++n)
+        EXPECT_NE(crc32(payload.substr(0, n)), good) << n;
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    std::string a = "hello, ", b = "world";
+    std::uint32_t inc = crc32(b.data(), b.size(),
+                              crc32(a.data(), a.size()));
+    EXPECT_EQ(inc, crc32(a + b));
+}
+
+} // anonymous namespace
+} // namespace gqos

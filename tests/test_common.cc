@@ -195,6 +195,31 @@ TEST(Cli, Defaults)
     EXPECT_FALSE(args.has("missing"));
 }
 
+TEST(CliDeath, RejectsTrailingGarbageInNumbers)
+{
+    const char *argv[] = {"prog", "--cycles=10k", "--rate=1.5x",
+                          "--empty="};
+    CliArgs args(4, argv);
+    EXPECT_EXIT(args.getInt("cycles", 0),
+                ::testing::ExitedWithCode(1), "10k");
+    EXPECT_EXIT(args.getDouble("rate", 0.0),
+                ::testing::ExitedWithCode(1), "1.5x");
+    EXPECT_EXIT(args.getInt("empty", 0),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(args.getDouble("empty", 0.0),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Cli, AcceptsFullTokenNumbers)
+{
+    const char *argv[] = {"prog", "--cycles=200000",
+                          "--rate=2.5e-1", "--neg=-7"};
+    CliArgs args(4, argv);
+    EXPECT_EQ(args.getInt("cycles", 0), 200000);
+    EXPECT_DOUBLE_EQ(args.getDouble("rate", 0.0), 0.25);
+    EXPECT_EQ(args.getInt("neg", 0), -7);
+}
+
 TEST(Cli, SplitList)
 {
     auto v = splitList("a,b, c");

@@ -44,32 +44,59 @@ TEST(GpuConfig, LargeConfigMatchesSection46)
     EXPECT_NO_THROW(cfg.validate());
 }
 
-TEST(GpuConfigDeath, RejectsBadSmCount)
+TEST(GpuConfig, RejectsBadSmCount)
 {
     GpuConfig cfg = defaultConfig();
     cfg.numSms = 0;
-    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "");
+    auto r = cfg.check();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(r.error().message().find("numSms"),
+              std::string::npos);
 }
 
-TEST(GpuConfigDeath, RejectsUnevenSchedulerSplit)
+TEST(GpuConfig, RejectsUnevenSchedulerSplit)
 {
     GpuConfig cfg = defaultConfig();
     cfg.warpSchedulersPerSm = 3; // 64 warps do not split by 3
-    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "");
+    EXPECT_FALSE(cfg.check().ok());
 }
 
-TEST(GpuConfigDeath, RejectsNonWarpMultipleThreads)
+TEST(GpuConfig, RejectsNonWarpMultipleThreads)
 {
     GpuConfig cfg = defaultConfig();
     cfg.maxThreadsPerSm = 2050;
-    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "");
+    EXPECT_FALSE(cfg.check().ok());
 }
 
-TEST(GpuConfigDeath, RejectsZeroDramBandwidth)
+// validate() stays the assert-style wrapper for compiled-in
+// presets; one death test pins its exit(1) contract.
+TEST(GpuConfigDeath, ValidateWrapperIsFatal)
 {
     GpuConfig cfg = defaultConfig();
     cfg.dramSlotsPerCycle = 0.0;
+    EXPECT_FALSE(cfg.check().ok());
     EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(GpuConfig, ConfigByNameFindsPresets)
+{
+    auto def = configByName("default");
+    ASSERT_TRUE(def.ok());
+    EXPECT_EQ(def.value().numSms, 16);
+    auto large = configByName("large");
+    ASSERT_TRUE(large.ok());
+    EXPECT_EQ(large.value().numSms, 56);
+    EXPECT_EQ(knownConfigs().size(), 2u);
+}
+
+TEST(GpuConfig, ConfigByNameReportsUnknownName)
+{
+    auto r = configByName("gigantic");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ErrorCode::NotFound);
+    EXPECT_NE(r.error().message().find("gigantic"),
+              std::string::npos);
 }
 
 TEST(GpuConfig, SummaryMentionsKeyParams)

@@ -1,13 +1,18 @@
 /**
  * @file
- * Harness tests: result caching, isolated-baseline handling and
- * QoS-reach bookkeeping.
+ * Harness tests: result caching, isolated-baseline handling,
+ * QoS-reach bookkeeping, recoverable-error propagation and
+ * crash-safety of the on-disk cache (corruption, truncation and
+ * version-mismatch recovery).
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <algorithm>
+#include <sstream>
 
 #include "harness/runner.hh"
 
@@ -32,17 +37,44 @@ struct HarnessFixture : public ::testing::Test
         std::filesystem::remove_all(dir);
     }
 
+    Runner
+    makeRunner()
+    {
+        return Runner::make(opts).value();
+    }
+
+    /** Read the whole cache file as lines (header included). */
+    static std::vector<std::string>
+    readLines(const std::string &path)
+    {
+        std::ifstream in(path);
+        std::vector<std::string> lines;
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+        return lines;
+    }
+
+    static void
+    writeLines(const std::string &path,
+               const std::vector<std::string> &lines)
+    {
+        std::ofstream out(path, std::ios::trunc);
+        for (const auto &l : lines)
+            out << l << "\n";
+    }
+
     std::string dir;
     Runner::Options opts;
 };
 
 TEST_F(HarnessFixture, IsolatedIpcIsPositiveAndCached)
 {
-    Runner runner(opts);
-    double ipc1 = runner.isolatedIpc("sgemm");
+    Runner runner = makeRunner();
+    double ipc1 = runner.isolatedIpc("sgemm").value();
     EXPECT_GT(ipc1, 10.0);
     int sims = runner.simulatedCases();
-    double ipc2 = runner.isolatedIpc("sgemm");
+    double ipc2 = runner.isolatedIpc("sgemm").value();
     EXPECT_DOUBLE_EQ(ipc1, ipc2);
     EXPECT_EQ(runner.simulatedCases(), sims); // served from memory
 }
@@ -51,16 +83,16 @@ TEST_F(HarnessFixture, CasePersistsAcrossRunners)
 {
     double ipc_first;
     {
-        Runner runner(opts);
+        Runner runner = makeRunner();
         CaseResult r = runner.run({"sgemm", "lbm"}, {0.5, 0.0},
-                                  "rollover");
+                                  "rollover").value();
         EXPECT_FALSE(r.fromCache);
         ipc_first = r.kernels[0].ipc;
     }
     {
-        Runner runner(opts);
+        Runner runner = makeRunner();
         CaseResult r = runner.run({"sgemm", "lbm"}, {0.5, 0.0},
-                                  "rollover");
+                                  "rollover").value();
         EXPECT_TRUE(r.fromCache);
         EXPECT_NEAR(r.kernels[0].ipc, ipc_first,
                     ipc_first * 1e-6);
@@ -70,18 +102,18 @@ TEST_F(HarnessFixture, CasePersistsAcrossRunners)
 
 TEST_F(HarnessFixture, DistinctGoalsAreDistinctCases)
 {
-    Runner runner(opts);
-    runner.run({"sgemm", "lbm"}, {0.5, 0.0}, "rollover");
+    Runner runner = makeRunner();
+    runner.run({"sgemm", "lbm"}, {0.5, 0.0}, "rollover").value();
     int sims = runner.simulatedCases();
-    runner.run({"sgemm", "lbm"}, {0.55, 0.0}, "rollover");
+    runner.run({"sgemm", "lbm"}, {0.55, 0.0}, "rollover").value();
     EXPECT_GT(runner.simulatedCases(), sims);
 }
 
 TEST_F(HarnessFixture, ReachedComparesAgainstGoal)
 {
-    Runner runner(opts);
+    Runner runner = makeRunner();
     CaseResult r = runner.run({"sgemm", "lbm"}, {0.5, 0.0},
-                              "rollover");
+                              "rollover").value();
     const KernelResult &q = r.kernels[0];
     EXPECT_TRUE(q.isQos);
     EXPECT_NEAR(q.goalIpc, 0.5 * q.ipcIsolated, 1e-9);
@@ -92,13 +124,211 @@ TEST_F(HarnessFixture, ReachedComparesAgainstGoal)
 
 TEST_F(HarnessFixture, NonQosThroughputAveragesNonQosOnly)
 {
-    Runner runner(opts);
+    Runner runner = makeRunner();
     CaseResult r = runner.run({"sgemm", "lbm"}, {0.5, 0.0},
-                              "rollover");
+                              "rollover").value();
     EXPECT_DOUBLE_EQ(r.nonQosThroughput(),
                      r.kernels[1].normalizedThroughput());
     EXPECT_DOUBLE_EQ(r.qosOvershoot(),
                      r.kernels[0].normalizedToGoal());
+}
+
+// ---------------------------------------------------------------
+// Crash-safe cache: corrupt lines are quarantined with a warning
+// and transparently re-simulated with identical numbers.
+// ---------------------------------------------------------------
+
+TEST_F(HarnessFixture, BitFlippedLineIsQuarantinedAndResimulated)
+{
+    double ipc_first;
+    {
+        Runner runner = makeRunner();
+        ipc_first = runner.run({"sgemm", "lbm"}, {0.5, 0.0},
+                               "rollover").value().kernels[0].ipc;
+    }
+    std::string path;
+    {
+        Runner probe = makeRunner();
+        path = probe.cachePath();
+    }
+    auto lines = readLines(path);
+    ASSERT_GE(lines.size(), 2u); // header + at least one entry
+    // Flip one payload character of the pair entry (key starts
+    // with the policy name); the CRC must catch it.
+    auto victim = std::find_if(lines.begin(), lines.end(),
+                               [](const std::string &l) {
+                                   return l.find("rollover|") !=
+                                          std::string::npos;
+                               });
+    ASSERT_NE(victim, lines.end());
+    ASSERT_GT(victim->size(), 20u);
+    (*victim)[victim->size() / 2] ^= 0x01;
+    writeLines(path, lines);
+
+    Runner runner = makeRunner();
+    EXPECT_EQ(runner.quarantinedLines(), 1);
+    EXPECT_TRUE(std::filesystem::exists(path + ".quarantine"));
+    CaseResult r = runner.run({"sgemm", "lbm"}, {0.5, 0.0},
+                              "rollover").value();
+    EXPECT_FALSE(r.fromCache); // transparently re-simulated
+    EXPECT_DOUBLE_EQ(r.kernels[0].ipc, ipc_first);
+}
+
+TEST_F(HarnessFixture, TruncatedLineIsQuarantinedOthersSurvive)
+{
+    {
+        Runner runner = makeRunner();
+        runner.run({"sgemm", "lbm"}, {0.5, 0.0},
+                   "rollover").value();
+        runner.run({"stencil", "lbm"}, {0.5, 0.0},
+                   "rollover").value();
+    }
+    std::string path;
+    {
+        Runner probe = makeRunner();
+        path = probe.cachePath();
+    }
+    auto lines = readLines(path);
+    ASSERT_GE(lines.size(), 3u); // header + two entries
+    // Simulate a crash mid-append: the stencil pair line is cut
+    // short.
+    auto victim = std::find_if(lines.begin(), lines.end(),
+                               [](const std::string &l) {
+                                   return l.find("rollover|") !=
+                                              std::string::npos &&
+                                          l.find("stencil") !=
+                                              std::string::npos;
+                               });
+    ASSERT_NE(victim, lines.end());
+    *victim = victim->substr(0, victim->size() / 2);
+    writeLines(path, lines);
+
+    Runner runner = makeRunner();
+    EXPECT_EQ(runner.quarantinedLines(), 1);
+    // The intact lines must still be served from cache.
+    EXPECT_EQ(runner.simulatedCases(), 0);
+    int cached = 0;
+    for (auto *kernel : {"sgemm", "stencil"}) {
+        CaseResult r = runner.run({kernel, "lbm"}, {0.5, 0.0},
+                                  "rollover").value();
+        cached += r.fromCache ? 1 : 0;
+    }
+    EXPECT_EQ(cached, 1); // one survived, one re-simulated
+    EXPECT_EQ(runner.simulatedCases(), 1);
+}
+
+TEST_F(HarnessFixture, VersionMismatchRetiresWholeFile)
+{
+    {
+        Runner runner = makeRunner();
+        runner.run({"sgemm", "lbm"}, {0.5, 0.0},
+                   "rollover").value();
+    }
+    std::string path;
+    {
+        Runner probe = makeRunner();
+        path = probe.cachePath();
+    }
+    auto lines = readLines(path);
+    ASSERT_FALSE(lines.empty());
+    lines[0] = "#gqos-cache v1"; // stale format version
+    writeLines(path, lines);
+
+    Runner runner = makeRunner();
+    // The stale file is set aside wholesale, not partially trusted.
+    EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+    CaseResult r = runner.run({"sgemm", "lbm"}, {0.5, 0.0},
+                              "rollover").value();
+    EXPECT_FALSE(r.fromCache);
+    // And the rebuilt file carries the current header again.
+    auto rebuilt = readLines(path);
+    ASSERT_FALSE(rebuilt.empty());
+    EXPECT_EQ(rebuilt[0], Runner::cacheHeader);
+}
+
+TEST_F(HarnessFixture, CacheRoundTripIsBitExact)
+{
+    CaseResult fresh = [&] {
+        Runner runner = makeRunner();
+        return runner.run({"mri-q", "spmv"}, {0.7, 0.0},
+                          "rollover").value();
+    }();
+    Runner runner = makeRunner();
+    CaseResult cached = runner.run({"mri-q", "spmv"}, {0.7, 0.0},
+                                   "rollover").value();
+    ASSERT_TRUE(cached.fromCache);
+    ASSERT_EQ(cached.kernels.size(), fresh.kernels.size());
+    for (std::size_t i = 0; i < fresh.kernels.size(); ++i) {
+        EXPECT_DOUBLE_EQ(cached.kernels[i].ipc,
+                         fresh.kernels[i].ipc);
+        EXPECT_DOUBLE_EQ(cached.kernels[i].ipcIsolated,
+                         fresh.kernels[i].ipcIsolated);
+    }
+    EXPECT_EQ(cached.preemptions, fresh.preemptions);
+    EXPECT_DOUBLE_EQ(cached.dramPerKcycle, fresh.dramPerKcycle);
+}
+
+// ---------------------------------------------------------------
+// Recoverable errors instead of fatal() inside the harness.
+// ---------------------------------------------------------------
+
+TEST(HarnessErrors, MismatchedGoalsAreRecoverable)
+{
+    Runner::Options opts;
+    opts.useCache = false;
+    opts.cycles = 1000;
+    opts.warmupCycles = 0;
+    Runner runner = Runner::make(opts).value();
+    auto r = runner.run({"sgemm", "lbm"}, {0.5}, "rollover");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(HarnessErrors, UnknownConfigIsRecoverable)
+{
+    Runner::Options opts;
+    opts.configName = "gigantic";
+    auto r = Runner::make(opts);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ErrorCode::NotFound);
+}
+
+TEST(HarnessErrors, UnknownKernelIsRecoverable)
+{
+    Runner::Options opts;
+    opts.useCache = false;
+    opts.cycles = 1000;
+    opts.warmupCycles = 0;
+    Runner runner = Runner::make(opts).value();
+    auto r = runner.run({"no-such-kernel", "lbm"}, {0.5, 0.0},
+                        "rollover");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ErrorCode::NotFound);
+}
+
+TEST(HarnessErrors, UnknownPolicyIsRecoverable)
+{
+    Runner::Options opts;
+    opts.useCache = false;
+    opts.cycles = 1000;
+    opts.warmupCycles = 0;
+    Runner runner = Runner::make(opts).value();
+    auto r = runner.run({"sgemm", "lbm"}, {0.5, 0.0}, "bogus");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ErrorCode::NotFound);
+}
+
+TEST(HarnessErrors, WarmupMustLeaveMeasuredWindow)
+{
+    Runner::Options opts;
+    opts.useCache = false;
+    opts.cycles = 1000;
+    opts.warmupCycles = 1000; // nothing left to measure
+    auto r = Runner::make(opts);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(r.error().message().find("warmup"),
+              std::string::npos);
 }
 
 TEST(HarnessSweeps, PaperGoalLists)
@@ -113,22 +343,36 @@ TEST(HarnessSweeps, PaperGoalLists)
     EXPECT_DOUBLE_EQ(d.back(), 0.70);
 }
 
-TEST(HarnessDeath, MismatchedGoalsAreFatal)
+// ---------------------------------------------------------------
+// Run watchdog: the StallDetector fires only after a full window
+// with live work but no retired instructions.
+// ---------------------------------------------------------------
+
+TEST(StallDetector, FiresAfterWindowWithoutProgress)
 {
-    Runner::Options opts;
-    opts.useCache = false;
-    opts.cycles = 1000;
-    Runner runner(opts);
-    EXPECT_EXIT(runner.run({"sgemm", "lbm"}, {0.5}, "rollover"),
-                ::testing::ExitedWithCode(1), "");
+    StallDetector det(1000);
+    EXPECT_FALSE(det.observe(0, 0, true));     // primes
+    EXPECT_FALSE(det.observe(500, 0, true));   // within window
+    EXPECT_FALSE(det.observe(999, 0, true));
+    EXPECT_TRUE(det.observe(1000, 0, true));   // full window, stuck
 }
 
-TEST(HarnessDeath, UnknownConfigIsFatal)
+TEST(StallDetector, ProgressResetsTheWindow)
 {
-    Runner::Options opts;
-    opts.configName = "gigantic";
-    EXPECT_EXIT(Runner runner(opts), ::testing::ExitedWithCode(1),
-                "");
+    StallDetector det(1000);
+    EXPECT_FALSE(det.observe(0, 0, true));
+    EXPECT_FALSE(det.observe(900, 10, true));  // retired some
+    EXPECT_FALSE(det.observe(1800, 10, true)); // window restarted
+    EXPECT_TRUE(det.observe(1900, 10, true));
+}
+
+TEST(StallDetector, IdleGpuIsNotAStall)
+{
+    StallDetector det(1000);
+    EXPECT_FALSE(det.observe(0, 0, true));
+    // No live thread blocks: drained, not stalled.
+    EXPECT_FALSE(det.observe(5000, 0, false));
+    EXPECT_FALSE(det.observe(10000, 0, false));
 }
 
 } // anonymous namespace

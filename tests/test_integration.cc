@@ -33,9 +33,9 @@ fastOpts()
 
 TEST(Integration, RolloverMeetsModerateGoal)
 {
-    Runner runner(fastOpts());
+    Runner runner = Runner::make(fastOpts()).value();
     CaseResult r = runner.run({"sgemm", "lbm"}, {0.6, 0.0},
-                              "rollover");
+                              "rollover").value();
     EXPECT_TRUE(r.kernels[0].reached())
         << "achieved " << r.kernels[0].normalizedToGoal();
     // "Just enough": no gross overshoot.
@@ -46,22 +46,22 @@ TEST(Integration, RolloverMeetsModerateGoal)
 
 TEST(Integration, MemoryQosAgainstMemoryPartner)
 {
-    Runner runner(fastOpts());
+    Runner runner = Runner::make(fastOpts()).value();
     // M+M at a moderate goal: exactly the case where Spart lacks a
     // bandwidth knob but quota throttling works (Figure 7).
     CaseResult r = runner.run({"stencil", "lbm"}, {0.6, 0.0},
-                              "rollover");
+                              "rollover").value();
     EXPECT_TRUE(r.kernels[0].reached())
         << "achieved " << r.kernels[0].normalizedToGoal();
 }
 
 TEST(Integration, RolloverTimeSacrificesNonQosThroughput)
 {
-    Runner runner(fastOpts());
+    Runner runner = Runner::make(fastOpts()).value();
     CaseResult ro = runner.run({"sgemm", "stencil"}, {0.6, 0.0},
-                               "rollover");
+                               "rollover").value();
     CaseResult rt = runner.run({"sgemm", "stencil"}, {0.6, 0.0},
-                               "rollover-time");
+                               "rollover-time").value();
     EXPECT_TRUE(ro.kernels[0].reached());
     EXPECT_TRUE(rt.kernels[0].reached());
     // Overlap beats serialization for the best-effort kernel.
@@ -71,11 +71,11 @@ TEST(Integration, RolloverTimeSacrificesNonQosThroughput)
 
 TEST(Integration, SpartOvershootsMoreThanRollover)
 {
-    Runner runner(fastOpts());
+    Runner runner = Runner::make(fastOpts()).value();
     CaseResult sp = runner.run({"sgemm", "lbm"}, {0.5, 0.0},
-                               "spart");
+                               "spart").value();
     CaseResult ro = runner.run({"sgemm", "lbm"}, {0.5, 0.0},
-                               "rollover");
+                               "rollover").value();
     ASSERT_TRUE(sp.kernels[0].reached());
     ASSERT_TRUE(ro.kernels[0].reached());
     // Whole-SM granularity cannot track "just enough" (Figure 9).
@@ -84,22 +84,23 @@ TEST(Integration, SpartOvershootsMoreThanRollover)
 
 TEST(Integration, ImpossibleGoalStarvesNonQosButKeepsRunning)
 {
-    Runner runner(fastOpts());
+    Runner runner = Runner::make(fastOpts()).value();
     // 2x the isolated IPC cannot be reached; the policy must pour
     // everything into the QoS kernel without deadlocking.
     CaseResult r = runner.run({"spmv", "lbm"}, {2.0, 0.0},
-                              "rollover");
+                              "rollover").value();
     EXPECT_FALSE(r.kernels[0].reached());
     EXPECT_GT(r.kernels[0].ipc, 0.0);
 }
 
 TEST(Integration, DeterministicCaseResults)
 {
-    Runner a(fastOpts()), b(fastOpts());
+    Runner a = Runner::make(fastOpts()).value();
+    Runner b = Runner::make(fastOpts()).value();
     CaseResult ra = a.run({"cutcp", "spmv"}, {0.7, 0.0},
-                          "rollover");
+                          "rollover").value();
     CaseResult rb = b.run({"cutcp", "spmv"}, {0.7, 0.0},
-                          "rollover");
+                          "rollover").value();
     EXPECT_DOUBLE_EQ(ra.kernels[0].ipc, rb.kernels[0].ipc);
     EXPECT_DOUBLE_EQ(ra.kernels[1].ipc, rb.kernels[1].ipc);
     EXPECT_EQ(ra.preemptions, rb.preemptions);

@@ -68,39 +68,44 @@ TEST(KernelDesc, PhaseBoundariesNormalized)
     EXPECT_DOUBLE_EQ(bounds[1], 1.0);
 }
 
-TEST(KernelDescDeath, RejectsNonWarpMultipleTb)
+TEST(KernelDesc, RejectsNonWarpMultipleTb)
 {
     KernelDesc d = test::tinyComputeKernel();
     d.threadsPerTb = 100;
-    EXPECT_EXIT(d.validate(), ::testing::ExitedWithCode(1), "");
+    auto r = d.check();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ErrorCode::InvalidArgument);
 }
 
-TEST(KernelDescDeath, RejectsEmptyPhases)
+TEST(KernelDesc, RejectsEmptyPhases)
 {
     KernelDesc d = test::tinyComputeKernel();
     d.phases.clear();
-    EXPECT_EXIT(d.validate(), ::testing::ExitedWithCode(1), "");
+    EXPECT_FALSE(d.check().ok());
 }
 
-TEST(KernelDescDeath, RejectsBadInstructionMix)
+TEST(KernelDesc, RejectsBadInstructionMix)
 {
     KernelDesc d = test::tinyComputeKernel();
     d.phases[0].memRatio = 0.8;
     d.phases[0].sharedRatio = 0.3; // sums above 1
-    EXPECT_EXIT(d.validate(), ::testing::ExitedWithCode(1), "");
+    EXPECT_FALSE(d.check().ok());
 }
 
-TEST(KernelDescDeath, RejectsBadCoalescing)
+TEST(KernelDesc, RejectsBadCoalescing)
 {
     KernelDesc d = test::tinyComputeKernel();
     d.phases[0].avgTransPerMem = 40.0; // above warp size
-    EXPECT_EXIT(d.validate(), ::testing::ExitedWithCode(1), "");
+    EXPECT_FALSE(d.check().ok());
 }
 
-TEST(KernelDescDeath, RejectsBadVariance)
+// validate() stays the assert-style wrapper for compiled-in
+// descriptors; one death test pins its exit(1) contract.
+TEST(KernelDescDeath, ValidateWrapperIsFatal)
 {
     KernelDesc d = test::tinyComputeKernel();
     d.tbVariance = 0.8;
+    EXPECT_FALSE(d.check().ok());
     EXPECT_EXIT(d.validate(), ::testing::ExitedWithCode(1), "");
 }
 

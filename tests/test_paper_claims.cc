@@ -20,13 +20,13 @@ namespace
 Runner &
 sharedRunner()
 {
-    static Runner runner([] {
+    static Runner runner = Runner::make([] {
         Runner::Options o;
         o.cycles = 150000;
         o.warmupCycles = 30000;
         o.useCache = false;
         return o;
-    }());
+    }()).value();
     return runner;
 }
 
@@ -35,7 +35,8 @@ TEST(PaperClaims, ComputePlusComputePairsReachGoals)
     // Figure 7: C+C pairs reach their goals under both schemes.
     for (const char *policy : {"rollover", "spart"}) {
         CaseResult r = sharedRunner().run({"mri-q", "tpacf"},
-                                          {0.7, 0.0}, policy);
+                                          {0.7, 0.0},
+                                          policy).value();
         EXPECT_TRUE(r.allReached())
             << policy << " achieved "
             << r.kernels[0].normalizedToGoal();
@@ -48,7 +49,7 @@ TEST(PaperClaims, QuotaThrottlingControlsMemoryContention)
     // bandwidth; the QoS kernel reaches a mid goal against a
     // bandwidth-hungry partner.
     CaseResult r = sharedRunner().run({"lbm", "spmv"}, {0.6, 0.0},
-                                      "rollover");
+                                      "rollover").value();
     EXPECT_TRUE(r.allReached())
         << "achieved " << r.kernels[0].normalizedToGoal();
 }
@@ -61,9 +62,11 @@ TEST(PaperClaims, RolloverBeatsNaiveOnReach)
         for (auto [q, b] : {std::pair{"sgemm", "lbm"},
                             std::pair{"stencil", "tpacf"}}) {
             ro += sharedRunner().run({q, b}, {goal, 0.0},
-                                     "rollover").allReached();
+                                     "rollover")
+                      .value().allReached();
             na += sharedRunner().run({q, b}, {goal, 0.0},
-                                     "naive").allReached();
+                                     "naive")
+                      .value().allReached();
         }
     }
     EXPECT_GE(ro, na);
@@ -75,9 +78,11 @@ TEST(PaperClaims, SpartCannotSplitAnSm)
     // Figure 9's root cause: a QoS kernel that needs a fraction of
     // an SM forces Spart to overshoot, wasting non-QoS capacity.
     CaseResult sp = sharedRunner().run({"mri-q", "spmv"},
-                                       {0.55, 0.0}, "spart");
+                                       {0.55, 0.0},
+                                       "spart").value();
     CaseResult ro = sharedRunner().run({"mri-q", "spmv"},
-                                       {0.55, 0.0}, "rollover");
+                                       {0.55, 0.0},
+                                       "rollover").value();
     ASSERT_TRUE(sp.allReached());
     ASSERT_TRUE(ro.allReached());
     EXPECT_GT(sp.qosOvershoot(), ro.qosOvershoot());
@@ -91,7 +96,8 @@ TEST(PaperClaims, TwoQosTrioIsControllable)
     // assert that fine-grained control keeps BOTH QoS kernels at or
     // very near goal at a feasible operating point.
     CaseResult r = sharedRunner().run(
-        {"mri-q", "lbm", "stencil"}, {0.3, 0.3, 0.0}, "rollover");
+        {"mri-q", "lbm", "stencil"}, {0.3, 0.3, 0.0},
+        "rollover").value();
     for (int k = 0; k < 2; ++k) {
         EXPECT_GT(r.kernels[k].normalizedToGoal(), 0.97)
             << r.kernels[k].name;

@@ -143,7 +143,8 @@ TEST(PolicyFactory, KnownNamesConstruct)
                                   QosSpec::nonQos()};
     for (const auto &name : knownPolicies()) {
         auto p = makePolicy(name, specs, cfg);
-        ASSERT_NE(p, nullptr) << name;
+        ASSERT_TRUE(p.ok()) << name;
+        ASSERT_NE(p.value(), nullptr) << name;
     }
 }
 
@@ -152,22 +153,27 @@ TEST(PolicyFactory, NamesRoundTripThroughPolicies)
     GpuConfig cfg = defaultConfig();
     std::vector<QosSpec> specs = {QosSpec::qos(100),
                                   QosSpec::nonQos()};
-    EXPECT_EQ(makePolicy("rollover", specs, cfg)->name(),
+    EXPECT_EQ(makePolicy("rollover", specs, cfg).value()->name(),
               "rollover");
-    EXPECT_EQ(makePolicy("rollover-time", specs, cfg)->name(),
+    EXPECT_EQ(makePolicy("rollover-time", specs, cfg).value()->name(),
               "rollover-time");
-    EXPECT_EQ(makePolicy("naive-nohist", specs, cfg)->name(),
+    EXPECT_EQ(makePolicy("naive-nohist", specs, cfg).value()->name(),
               "naive-nohist");
-    EXPECT_EQ(makePolicy("rollover-nostatic", specs, cfg)->name(),
+    EXPECT_EQ(makePolicy("rollover-nostatic", specs, cfg).value()->name(),
               "rollover-nostatic");
-    EXPECT_EQ(makePolicy("spart", specs, cfg)->name(), "spart");
+    EXPECT_EQ(makePolicy("spart", specs, cfg).value()->name(), "spart");
 }
 
-TEST(PolicyFactoryDeath, UnknownNameIsFatal)
+TEST(PolicyFactory, UnknownNameIsRecoverableError)
 {
     GpuConfig cfg = defaultConfig();
-    EXPECT_EXIT(makePolicy("bogus", {QosSpec::nonQos()}, cfg),
-                ::testing::ExitedWithCode(1), "");
+    auto p = makePolicy("bogus", {QosSpec::nonQos()}, cfg);
+    ASSERT_FALSE(p.ok());
+    EXPECT_EQ(p.error().code(), ErrorCode::NotFound);
+    EXPECT_NE(p.error().message().find("bogus"), std::string::npos);
+    // The error lists the valid spellings.
+    EXPECT_NE(p.error().message().find("rollover"),
+              std::string::npos);
 }
 
 TEST(FineGrainQos, AdjustmentGrowsStarvedQosKernel)

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Result<T>/Error primitives: construction, access discipline and
+ * the CLI-boundary okOrDie() unwrap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/result.hh"
+
+namespace gqos
+{
+namespace
+{
+
+Result<int>
+parsePositive(int v)
+{
+    if (v <= 0) {
+        return Error::format(ErrorCode::InvalidArgument,
+                             "%d is not positive", v);
+    }
+    return v;
+}
+
+TEST(Result, HoldsValue)
+{
+    Result<int> r = parsePositive(7);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(static_cast<bool>(r));
+    EXPECT_EQ(r.value(), 7);
+    EXPECT_EQ(r.valueOr(-1), 7);
+}
+
+TEST(Result, HoldsError)
+{
+    Result<int> r = parsePositive(-3);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ErrorCode::InvalidArgument);
+    EXPECT_EQ(r.error().message(), "-3 is not positive");
+    EXPECT_EQ(r.valueOr(42), 42);
+}
+
+TEST(Result, DescribePrefixesTheCode)
+{
+    Error e(ErrorCode::NotFound, "no such policy");
+    EXPECT_EQ(e.describe(), "not-found: no such policy");
+    EXPECT_STREQ(toString(ErrorCode::CorruptData), "corrupt-data");
+    EXPECT_STREQ(toString(ErrorCode::FaultInjected),
+                 "fault-injected");
+    EXPECT_STREQ(toString(ErrorCode::Stalled), "stalled");
+}
+
+TEST(Result, MoveOnlyPayload)
+{
+    Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+    ASSERT_TRUE(r.ok());
+    std::unique_ptr<int> p = std::move(r).value();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, 5);
+}
+
+TEST(Result, VoidSpecialization)
+{
+    Result<void> ok;
+    EXPECT_TRUE(ok.ok());
+    Result<void> bad = Error(ErrorCode::IoError, "disk on fire");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code(), ErrorCode::IoError);
+}
+
+TEST(ResultDeath, ValueOnErrorPanics)
+{
+    // Wrong-side access is a programming bug: panic (abort), not a
+    // silent default.
+    EXPECT_DEATH(
+        {
+            Result<int> r = Error(ErrorCode::Internal, "boom");
+            (void)r.value();
+        },
+        "boom");
+}
+
+TEST(ResultDeath, ErrorOnValuePanics)
+{
+    EXPECT_DEATH(
+        {
+            Result<int> r = 3;
+            (void)r.error();
+        },
+        "");
+}
+
+TEST(ResultDeath, OkOrDieIsFatalOnError)
+{
+    EXPECT_EXIT(okOrDie(Result<int>(
+                    Error(ErrorCode::NotFound, "nope"))),
+                ::testing::ExitedWithCode(1), "nope");
+    EXPECT_EXIT(okOrDie(Result<void>(
+                    Error(ErrorCode::IoError, "gone"))),
+                ::testing::ExitedWithCode(1), "gone");
+}
+
+TEST(Result, OkOrDiePassesValuesThrough)
+{
+    EXPECT_EQ(okOrDie(parsePositive(9)), 9);
+    okOrDie(Result<void>()); // must not die
+}
+
+} // anonymous namespace
+} // namespace gqos

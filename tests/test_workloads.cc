@@ -47,7 +47,19 @@ TEST(Parboil, LookupByName)
     EXPECT_FALSE(isParboilKernel("bfs")); // excluded by the paper
 }
 
-TEST(ParboilDeath, UnknownKernelIsFatal)
+TEST(Parboil, UnknownKernelIsRecoverableError)
+{
+    auto r = findParboilKernel("nope");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ErrorCode::NotFound);
+    // The error lists the valid kernels.
+    EXPECT_NE(r.error().message().find("sgemm"), std::string::npos);
+    auto ok = findParboilKernel("sgemm");
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value()->name, "sgemm");
+}
+
+TEST(ParboilDeath, UnknownKernelIsFatalAtCliWrapper)
 {
     EXPECT_EXIT(parboilKernel("nope"),
                 ::testing::ExitedWithCode(1), "");
