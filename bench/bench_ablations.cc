@@ -24,75 +24,96 @@ main(int argc, char **argv)
         ? 0 : static_cast<int>(args.getInt("pairs", 8));
     auto pairs = subsample(parboilPairs(), n);
 
-    // ---- history adjustment ----
-    printHeader("Ablation: history-based quota adjustment "
-                "(Rollover)");
-    ReachStat with_h, without_h;
-    for (double goal : paperGoalSweep()) {
-        for (const auto &[qos, bg] : pairs) {
-            with_h.add(runCase(runner, {qos, bg}, {goal, 0.0},
+    // Parts 1 and 2 share one sweep over the standard runner.
+    Sweep sweep(runner, sweepOptions(args, "ablations"));
+    sweep.execute([&](Sweep &sw) {
+        // ---- history adjustment ----
+        sw.header("Ablation: history-based quota adjustment "
+                  "(Rollover)");
+        ReachStat with_h, without_h;
+        for (double goal : paperGoalSweep()) {
+            for (const auto &[qos, bg] : pairs) {
+                with_h.add(sw.run({qos, bg}, {goal, 0.0},
                                   "rollover").allReached());
-            without_h.add(runCase(runner, {qos, bg}, {goal, 0.0},
+                without_h.add(sw.run({qos, bg}, {goal, 0.0},
                                      "rollover-nohist")
-                              .allReached());
+                                  .allReached());
+            }
         }
-    }
-    std::printf("QoSreach with history:    %.3f (%d/%d)\n",
-                with_h.reach(), with_h.success(), with_h.total());
-    std::printf("QoSreach without history: %.3f (%d/%d)\n",
-                without_h.reach(), without_h.success(),
-                without_h.total());
-    std::printf("[paper] enabling history covers 86.4%% more "
-                "cases\n");
+        sw.printf("QoSreach with history:    %.3f (%d/%d)\n",
+                  with_h.reach(), with_h.success(),
+                  with_h.total());
+        sw.printf("QoSreach without history: %.3f (%d/%d)\n",
+                  without_h.reach(), without_h.success(),
+                  without_h.total());
+        sw.printf("[paper] enabling history covers 86.4%% more "
+                  "cases\n");
 
-    // ---- static TB adjustment (M+M pairs) ----
-    printHeader("Ablation: static TB adjustment (Rollover, M+M "
-                "focus)");
-    ReachStat st_on, st_off;
-    MeanStat mm_on, mm_off;
-    for (double goal : paperGoalSweep()) {
-        for (const auto &[qos, bg] : pairs) {
-            CaseResult on = runCase(runner, {qos, bg}, {goal, 0.0},
+        // ---- static TB adjustment (M+M pairs) ----
+        sw.header("Ablation: static TB adjustment (Rollover, M+M "
+                  "focus)");
+        ReachStat st_on, st_off;
+        MeanStat mm_on, mm_off;
+        for (double goal : paperGoalSweep()) {
+            for (const auto &[qos, bg] : pairs) {
+                CaseResult on = sw.run({qos, bg}, {goal, 0.0},
                                        "rollover");
-            CaseResult off = runCase(runner, {qos, bg}, {goal, 0.0},
+                CaseResult off = sw.run({qos, bg}, {goal, 0.0},
                                         "rollover-nostatic");
-            st_on.add(on.allReached());
-            st_off.add(off.allReached());
-            bool mm = parboilKernel(qos).wclass ==
-                          WorkloadClass::Memory &&
-                      parboilKernel(bg).wclass ==
-                          WorkloadClass::Memory;
-            if (mm && on.allReached())
-                mm_on.add(on.nonQosThroughput());
-            if (mm && off.allReached())
-                mm_off.add(off.nonQosThroughput());
+                st_on.add(on.allReached());
+                st_off.add(off.allReached());
+                bool mm = parboilKernel(qos).wclass ==
+                              WorkloadClass::Memory &&
+                          parboilKernel(bg).wclass ==
+                              WorkloadClass::Memory;
+                if (mm && on.allReached())
+                    mm_on.add(on.nonQosThroughput());
+                if (mm && off.allReached())
+                    mm_off.add(off.nonQosThroughput());
+            }
         }
-    }
-    std::printf("QoSreach with static adjust:    %.3f\n",
-                st_on.reach());
-    std::printf("QoSreach without static adjust: %.3f\n",
-                st_off.reach());
-    if (mm_off.mean() > 0.0) {
-        std::printf("M+M non-QoS throughput: %.3f vs %.3f "
-                    "(%+.1f%%)\n", mm_on.mean(), mm_off.mean(),
-                    100.0 * (mm_on.mean() / mm_off.mean() - 1.0));
-    }
-    std::printf("[paper] static adjustment improves M+M non-QoS "
-                "throughput by 13.3%%\n");
+        sw.printf("QoSreach with static adjust:    %.3f\n",
+                  st_on.reach());
+        sw.printf("QoSreach without static adjust: %.3f\n",
+                  st_off.reach());
+        if (mm_off.mean() > 0.0) {
+            sw.printf("M+M non-QoS throughput: %.3f vs %.3f "
+                      "(%+.1f%%)\n", mm_on.mean(), mm_off.mean(),
+                      100.0 * (mm_on.mean() / mm_off.mean() - 1.0));
+        }
+        sw.printf("[paper] static adjustment improves M+M non-QoS "
+                  "throughput by 13.3%%\n");
+    });
 
     // ---- preemption overhead ----
+    // The free-preemption variant runs on its own runner (distinct
+    // cache file), so it gets its own sweep; the paid counterparts
+    // were already swept above and replay from the warm cache.
     printHeader("Ablation: preemption (partial context switch) "
                 "cost");
     Runner::Options free_opts = runnerOptions(args);
     free_opts.freePreemption = true;
     Runner free_runner = okOrDie(Runner::make(free_opts));
+    std::vector<CaseResult> free_results;
+    Sweep free_sweep(free_runner,
+                     sweepOptions(args, "ablations-freepre"));
+    free_sweep.execute([&](Sweep &sw) {
+        for (double goal : {0.6, 0.8}) {
+            for (const auto &[qos, bg] : subsample(pairs, 6)) {
+                CaseResult r = sw.run({qos, bg}, {goal, 0.0},
+                                      "rollover");
+                if (!sw.planning())
+                    free_results.push_back(r);
+            }
+        }
+    });
     MeanStat thr_paid, thr_free;
+    std::size_t fi = 0;
     for (double goal : {0.6, 0.8}) {
         for (const auto &[qos, bg] : subsample(pairs, 6)) {
-            CaseResult paid = runCase(runner, {qos, bg}, {goal, 0.0},
-                                         "rollover");
-            CaseResult free_r = runCase(free_runner,
-                {qos, bg}, {goal, 0.0}, "rollover");
+            CaseResult paid = runCase(runner, {qos, bg},
+                                      {goal, 0.0}, "rollover");
+            CaseResult free_r = free_results[fi++];
             // Compare total throughput (QoS + non-QoS IPC share).
             double tp = paid.kernels[1].normalizedThroughput();
             double tf = free_r.kernels[1].normalizedThroughput();

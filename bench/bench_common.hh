@@ -4,27 +4,38 @@
  *
  * Every bench binary accepts the same options:
  *   --cycles N     simulated cycles per case (default 200000)
- *   --warmup N     warmup cycles excluded from IPC (default 40000)
- *   --pairs N      number of kernel pairs (0 = all 90)
- *   --trios N      number of kernel trios (0 = all 60)
+ *   --warmup N     warmup cycles excluded from IPC (default 40000,
+ *                  capped at cycles/5 when not given explicitly)
+ *   --pairs N      number of kernel pairs (default 18; the full
+ *                  set is 90)
+ *   --trios N      number of kernel trios (default 12; the full
+ *                  set is 60)
  *   --cache DIR    result cache directory (default .qos_cache)
  *   --no-cache     disable the cache
- *   --full         paper-scale sweep (all pairs/trios)
+ *   --full         paper-scale sweep (all 90 pairs / 60 trios)
+ *   --jobs N       sweep worker threads (default: hardware
+ *                  concurrency; 1 = classic sequential execution)
  *
  * Results are memoized in the cache directory, so running fig6
- * first makes fig7/8/9/14 nearly free.
+ * first makes fig7/8/9/14 nearly free. Case sweeps execute in
+ * parallel through the Sweep wrapper below; stdout stays
+ * byte-identical to a sequential run at any --jobs value.
  */
 
 #ifndef GQOS_BENCH_BENCH_COMMON_HH
 #define GQOS_BENCH_BENCH_COMMON_HH
 
 #include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cli.hh"
+#include "common/logging.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "workloads/parboil.hh"
 
 namespace gqos::bench
@@ -46,9 +57,12 @@ runnerOptions(const CliArgs &args, const std::string &config = "default")
         ? args.getInt("warmup", 40000)
         : std::min<Cycle>(40000, opts.cycles / 5);
     opts.configName = args.getString("config", config);
-    opts.cacheDir = args.getString("cache", ".qos_cache");
-    opts.useCache = args.getBool("cache-enabled",
-                                 !args.has("no-cache"));
+    // CliArgs rewrites `--no-cache` to `cache=false`, so the cache
+    // option doubles as a directory path and an off switch.
+    std::string cache = args.getString("cache", ".qos_cache");
+    bool cacheOn = cache != "false";
+    opts.cacheDir = cacheOn ? cache : ".qos_cache";
+    opts.useCache = args.getBool("cache-enabled", cacheOn);
     opts.verbose = args.getBool("verbose", false);
     return opts;
 }
@@ -163,6 +177,126 @@ printHeader(const char *title)
                 "=================================================="
                 "============\n", title);
 }
+
+/** Sweep execution knobs from the common CLI flags (--jobs). */
+inline SweepOptions
+sweepOptions(const CliArgs &args, const std::string &label)
+{
+    SweepOptions so;
+    so.jobs = static_cast<int>(args.getInt("jobs", 0));
+    so.label = label;
+    return so;
+}
+
+/** Which of the two Sweep::execute() passes is running. */
+enum class Pass
+{
+    Plan, //!< collect cases; placeholder results, silent printfs
+    Emit  //!< replay real results in submission order and print
+};
+
+/**
+ * Two-pass plan/emit wrapper turning a bench's case loops into one
+ * parallel sweep without changing its printed output:
+ *
+ *     Sweep sweep(runner, sweepOptions(args, "fig6"));
+ *     sweep.execute([&](Sweep &sw) {
+ *         sw.header("Figure 6 ...");
+ *         for (double goal : paperGoalSweep()) {
+ *             CaseResult r = sw.run({qos, bg}, {goal, 0}, "spart");
+ *             sw.printf("%.3f\n", r.nonQosThroughput());
+ *         }
+ *     });
+ *
+ * The body runs twice. In the Plan pass run() only records the case
+ * (returning a placeholder) and printf()/header() stay silent; the
+ * recorded cases then execute across --jobs worker threads
+ * (runSweep); in the Emit pass run() replays the results in exact
+ * submission order, so stdout is byte-identical to a sequential
+ * run at any job count. Anything in the body *besides* these calls
+ * executes twice — guard expensive or stateful side work with
+ * planning(), and declare accumulators inside the body so each
+ * pass starts fresh.
+ */
+class Sweep
+{
+  public:
+    Sweep(Runner &runner, SweepOptions opts)
+        : runner_(runner), opts_(std::move(opts))
+    {}
+
+    /** Run @p body through both passes (fatal on a failed case). */
+    template <typename Body>
+    void
+    execute(Body &&body)
+    {
+        pass_ = Pass::Plan;
+        cases_.clear();
+        body(*this);
+        results_ =
+            okOrDie(runSweep(runner_, cases_, opts_, &stats_));
+        pass_ = Pass::Emit;
+        cursor_ = 0;
+        body(*this);
+        gqos_assert(cursor_ == results_.size());
+    }
+
+    /**
+     * Plan pass: record the case, return a placeholder. Emit pass:
+     * return the next swept result (submission order). The body
+     * must request the identical case sequence in both passes.
+     */
+    CaseResult
+    run(const std::vector<std::string> &kernels,
+        const std::vector<double> &goals, const std::string &policy,
+        const std::string &config = "")
+    {
+        if (pass_ == Pass::Plan) {
+            cases_.push_back({kernels, goals, policy, config});
+            return CaseResult{};
+        }
+        gqos_assert(cursor_ < results_.size());
+        return results_[cursor_++];
+    }
+
+    /** True during the Plan pass (results are placeholders). */
+    bool planning() const { return pass_ == Pass::Plan; }
+
+    /** printf to stdout, silent during the Plan pass. */
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    void
+    printf(const char *fmt, ...)
+    {
+        if (pass_ != Pass::Emit)
+            return;
+        va_list ap;
+        va_start(ap, fmt);
+        std::vprintf(fmt, ap);
+        va_end(ap);
+    }
+
+    /** printHeader(), silent during the Plan pass. */
+    void
+    header(const char *title)
+    {
+        if (pass_ == Pass::Emit)
+            printHeader(title);
+    }
+
+    /** Stats of the last execute() (done/hits/jobs/elapsed). */
+    const SweepStats &stats() const { return stats_; }
+
+  private:
+    Runner &runner_;
+    SweepOptions opts_;
+    Pass pass_ = Pass::Plan;
+    std::vector<SweepCase> cases_;
+    std::vector<CaseResult> results_;
+    std::size_t cursor_ = 0;
+    SweepStats stats_;
+};
 
 } // namespace gqos::bench
 

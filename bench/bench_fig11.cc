@@ -18,37 +18,40 @@ main(int argc, char **argv)
     Runner runner = makeRunner(args);
     auto pairs = selectedPairs(args);
 
-    printHeader("Figure 11: non-QoS throughput, Rollover vs "
-                "Rollover-Time (pairs, goal-met cases)");
-    std::printf("%-6s %12s %14s\n", "goal", "rollover",
-                "rollover-time");
-    MeanStat avg_ro, avg_rt;
-    for (double goal : paperGoalSweep()) {
-        MeanStat ro, rt;
-        for (const auto &[qos, bg] : pairs) {
-            CaseResult rr = runCase(runner, {qos, bg}, {goal, 0.0},
+    Sweep sweep(runner, sweepOptions(args, "fig11"));
+    sweep.execute([&](Sweep &sw) {
+        sw.header("Figure 11: non-QoS throughput, Rollover vs "
+                  "Rollover-Time (pairs, goal-met cases)");
+        sw.printf("%-6s %12s %14s\n", "goal", "rollover",
+                  "rollover-time");
+        MeanStat avg_ro, avg_rt;
+        for (double goal : paperGoalSweep()) {
+            MeanStat ro, rt;
+            for (const auto &[qos, bg] : pairs) {
+                CaseResult rr = sw.run({qos, bg}, {goal, 0.0},
                                        "rollover");
-            CaseResult rm = runCase(runner, {qos, bg}, {goal, 0.0},
+                CaseResult rm = sw.run({qos, bg}, {goal, 0.0},
                                        "rollover-time");
-            if (rr.allReached()) {
-                ro.add(rr.nonQosThroughput());
-                avg_ro.add(rr.nonQosThroughput());
+                if (rr.allReached()) {
+                    ro.add(rr.nonQosThroughput());
+                    avg_ro.add(rr.nonQosThroughput());
+                }
+                if (rm.allReached()) {
+                    rt.add(rm.nonQosThroughput());
+                    avg_rt.add(rm.nonQosThroughput());
+                }
             }
-            if (rm.allReached()) {
-                rt.add(rm.nonQosThroughput());
-                avg_rt.add(rm.nonQosThroughput());
-            }
+            sw.printf("%4.0f%% %12.3f %14.3f\n", 100 * goal,
+                      ro.mean(), rt.mean());
         }
-        std::printf("%4.0f%% %12.3f %14.3f\n", 100 * goal,
-                    ro.mean(), rt.mean());
-    }
-    std::printf("%-6s %12.3f %14.3f\n", "AVG", avg_ro.mean(),
-                avg_rt.mean());
-    if (avg_rt.mean() > 0.0) {
-        std::printf("\nRollover-Time degradation: %.2fx\n",
-                    avg_ro.mean() / avg_rt.mean());
-    }
-    std::printf("[paper] Rollover-Time degrades non-QoS throughput "
-                "by 1.47x\n");
+        sw.printf("%-6s %12.3f %14.3f\n", "AVG", avg_ro.mean(),
+                  avg_rt.mean());
+        if (avg_rt.mean() > 0.0) {
+            sw.printf("\nRollover-Time degradation: %.2fx\n",
+                      avg_ro.mean() / avg_rt.mean());
+        }
+        sw.printf("[paper] Rollover-Time degrades non-QoS "
+                  "throughput by 1.47x\n");
+    });
     return 0;
 }

@@ -25,41 +25,44 @@ main(int argc, char **argv)
         ? 0 : static_cast<int>(args.getInt("pairs", 6));
     auto pairs = subsample(parboilPairs(), n);
 
-    printHeader("Figures 12/13: 56 SMs, 2 schedulers/SM (pairs)");
-    std::printf("%-6s | %10s %10s | %10s %10s\n", "goal",
-                "sp.reach", "ro.reach", "sp.nonQoS", "ro.nonQoS");
-    ReachStat avg_sp_r, avg_ro_r;
-    MeanStat avg_sp_t, avg_ro_t;
-    for (double goal : paperGoalSweep()) {
-        ReachStat sp_r, ro_r;
-        MeanStat sp_t, ro_t;
-        for (const auto &[qos, bg] : pairs) {
-            CaseResult rs = runCase(runner, {qos, bg}, {goal, 0.0},
+    Sweep sweep(runner, sweepOptions(args, "fig12_13"));
+    sweep.execute([&](Sweep &sw) {
+        sw.header("Figures 12/13: 56 SMs, 2 schedulers/SM (pairs)");
+        sw.printf("%-6s | %10s %10s | %10s %10s\n", "goal",
+                  "sp.reach", "ro.reach", "sp.nonQoS", "ro.nonQoS");
+        ReachStat avg_sp_r, avg_ro_r;
+        MeanStat avg_sp_t, avg_ro_t;
+        for (double goal : paperGoalSweep()) {
+            ReachStat sp_r, ro_r;
+            MeanStat sp_t, ro_t;
+            for (const auto &[qos, bg] : pairs) {
+                CaseResult rs = sw.run({qos, bg}, {goal, 0.0},
                                        "spart");
-            CaseResult rr = runCase(runner, {qos, bg}, {goal, 0.0},
+                CaseResult rr = sw.run({qos, bg}, {goal, 0.0},
                                        "rollover");
-            sp_r.add(rs.allReached());
-            ro_r.add(rr.allReached());
-            avg_sp_r.add(rs.allReached());
-            avg_ro_r.add(rr.allReached());
-            if (rs.allReached()) {
-                sp_t.add(rs.nonQosThroughput());
-                avg_sp_t.add(rs.nonQosThroughput());
+                sp_r.add(rs.allReached());
+                ro_r.add(rr.allReached());
+                avg_sp_r.add(rs.allReached());
+                avg_ro_r.add(rr.allReached());
+                if (rs.allReached()) {
+                    sp_t.add(rs.nonQosThroughput());
+                    avg_sp_t.add(rs.nonQosThroughput());
+                }
+                if (rr.allReached()) {
+                    ro_t.add(rr.nonQosThroughput());
+                    avg_ro_t.add(rr.nonQosThroughput());
+                }
             }
-            if (rr.allReached()) {
-                ro_t.add(rr.nonQosThroughput());
-                avg_ro_t.add(rr.nonQosThroughput());
-            }
+            sw.printf("%4.0f%% | %10.3f %10.3f | %10.3f %10.3f\n",
+                      100 * goal, sp_r.reach(), ro_r.reach(),
+                      sp_t.mean(), ro_t.mean());
         }
-        std::printf("%4.0f%% | %10.3f %10.3f | %10.3f %10.3f\n",
-                    100 * goal, sp_r.reach(), ro_r.reach(),
-                    sp_t.mean(), ro_t.mean());
-    }
-    std::printf("%-6s | %10.3f %10.3f | %10.3f %10.3f\n", "AVG",
-                avg_sp_r.reach(), avg_ro_r.reach(),
-                avg_sp_t.mean(), avg_ro_t.mean());
-    std::printf("\n[paper] more SMs narrow Spart's QoSreach gap "
-                "(still 4.76%% below Rollover); Rollover's non-QoS "
-                "throughput stays +30.65%% ahead\n");
+        sw.printf("%-6s | %10.3f %10.3f | %10.3f %10.3f\n", "AVG",
+                  avg_sp_r.reach(), avg_ro_r.reach(),
+                  avg_sp_t.mean(), avg_ro_t.mean());
+        sw.printf("\n[paper] more SMs narrow Spart's QoSreach gap "
+                  "(still 4.76%% below Rollover); Rollover's "
+                  "non-QoS throughput stays +30.65%% ahead\n");
+    });
     return 0;
 }

@@ -18,27 +18,31 @@ main(int argc, char **argv)
     Runner runner = makeRunner(args);
     auto pairs = selectedPairs(args);
 
-    printHeader("Figure 14: instr/Watt improvement of Rollover "
-                "over Spart (pairs)");
-    std::printf("%-6s %12s\n", "goal", "improvement");
-    MeanStat avg;
-    for (double goal : paperGoalSweep()) {
-        MeanStat impr;
-        for (const auto &[qos, bg] : pairs) {
-            CaseResult rs = runCase(runner, {qos, bg}, {goal, 0.0},
+    Sweep sweep(runner, sweepOptions(args, "fig14"));
+    sweep.execute([&](Sweep &sw) {
+        sw.header("Figure 14: instr/Watt improvement of Rollover "
+                  "over Spart (pairs)");
+        sw.printf("%-6s %12s\n", "goal", "improvement");
+        MeanStat avg;
+        for (double goal : paperGoalSweep()) {
+            MeanStat impr;
+            for (const auto &[qos, bg] : pairs) {
+                CaseResult rs = sw.run({qos, bg}, {goal, 0.0},
                                        "spart");
-            CaseResult rr = runCase(runner, {qos, bg}, {goal, 0.0},
+                CaseResult rr = sw.run({qos, bg}, {goal, 0.0},
                                        "rollover");
-            if (rs.instrPerWatt > 0.0) {
-                double d = rr.instrPerWatt / rs.instrPerWatt - 1.0;
-                impr.add(d);
-                avg.add(d);
+                if (rs.instrPerWatt > 0.0) {
+                    double d =
+                        rr.instrPerWatt / rs.instrPerWatt - 1.0;
+                    impr.add(d);
+                    avg.add(d);
+                }
             }
+            sw.printf("%4.0f%% %11.1f%%\n", 100 * goal,
+                      100.0 * impr.mean());
         }
-        std::printf("%4.0f%% %11.1f%%\n", 100 * goal,
-                    100.0 * impr.mean());
-    }
-    std::printf("%-6s %11.1f%%\n", "AVG", 100.0 * avg.mean());
-    std::printf("\n[paper] +9.3%% on average\n");
+        sw.printf("%-6s %11.1f%%\n", "AVG", 100.0 * avg.mean());
+        sw.printf("\n[paper] +9.3%% on average\n");
+    });
     return 0;
 }

@@ -18,38 +18,43 @@ main(int argc, char **argv)
     Runner runner = makeRunner(args);
     auto pairs = selectedPairs(args);
 
-    Histogram miss_hist({0.01, 0.05, 0.10, 0.20});
-    int success = 0, total = 0;
-    SampleStat overshoot;
+    Sweep sweep(runner, sweepOptions(args, "fig5"));
+    sweep.execute([&](Sweep &sw) {
+        Histogram miss_hist({0.01, 0.05, 0.10, 0.20});
+        int success = 0, total = 0;
+        SampleStat overshoot;
 
-    for (double goal : paperGoalSweep()) {
-        for (const auto &[qos, bg] : pairs) {
-            CaseResult r = runCase(runner, {qos, bg}, {goal, 0.0},
+        for (double goal : paperGoalSweep()) {
+            for (const auto &[qos, bg] : pairs) {
+                CaseResult r = sw.run({qos, bg}, {goal, 0.0},
                                       "naive");
-            const KernelResult &k = r.kernels[0];
-            total++;
-            if (k.reached()) {
-                success++;
-                overshoot.add(k.normalizedToGoal() - 1.0);
-            } else {
-                miss_hist.add(1.0 - k.normalizedToGoal());
+                if (sw.planning())
+                    continue;
+                const KernelResult &k = r.kernels[0];
+                total++;
+                if (k.reached()) {
+                    success++;
+                    overshoot.add(k.normalizedToGoal() - 1.0);
+                } else {
+                    miss_hist.add(1.0 - k.normalizedToGoal());
+                }
             }
         }
-    }
 
-    printHeader("Figure 5: Naive+History misses vs miss distance");
-    const char *labels[] = {"0-1%", "1-5%", "5-10%", "10-20%",
-                            "20+%"};
-    for (std::size_t b = 0; b < miss_hist.numBuckets(); ++b) {
-        std::printf("%-8s %6llu cases\n", labels[b],
-                    static_cast<unsigned long long>(
-                        miss_hist.bucketCount(b)));
-    }
-    std::printf("\nmissed %llu / %d cases; successful cases "
-                "overshoot by %.1f%% on average\n",
-                static_cast<unsigned long long>(miss_hist.total()),
-                total, 100.0 * overshoot.mean());
-    std::printf("[paper] >700 of 900 cases missed, most within 5%%; "
-                "successes overshoot by 1.3%%\n");
+        sw.header("Figure 5: Naive+History misses vs miss distance");
+        const char *labels[] = {"0-1%", "1-5%", "5-10%", "10-20%",
+                                "20+%"};
+        for (std::size_t b = 0; b < miss_hist.numBuckets(); ++b) {
+            sw.printf("%-8s %6llu cases\n", labels[b],
+                      static_cast<unsigned long long>(
+                          miss_hist.bucketCount(b)));
+        }
+        sw.printf("\nmissed %llu / %d cases; successful cases "
+                  "overshoot by %.1f%% on average\n",
+                  static_cast<unsigned long long>(miss_hist.total()),
+                  total, 100.0 * overshoot.mean());
+        sw.printf("[paper] >700 of 900 cases missed, most within "
+                  "5%%; successes overshoot by 1.3%%\n");
+    });
     return 0;
 }

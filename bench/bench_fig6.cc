@@ -24,83 +24,87 @@ main(int argc, char **argv)
     auto pairs = selectedPairs(args);
     auto trios = selectedTrios(args);
 
-    // ---- (a) pairs ----
-    printHeader("Figure 6a: QoSreach vs QoS goal (pairs)");
-    const std::vector<std::string> schemes =
-        {"spart", "naive", "elastic", "rollover"};
-    std::printf("%-6s", "goal");
-    for (const auto &s : schemes)
-        std::printf(" %10s", s.c_str());
-    std::printf("\n");
+    Sweep sweep(runner, sweepOptions(args, "fig6"));
+    sweep.execute([&](Sweep &sw) {
+        // ---- (a) pairs ----
+        sw.header("Figure 6a: QoSreach vs QoS goal (pairs)");
+        const std::vector<std::string> schemes =
+            {"spart", "naive", "elastic", "rollover"};
+        sw.printf("%-6s", "goal");
+        for (const auto &s : schemes)
+            sw.printf(" %10s", s.c_str());
+        sw.printf("\n");
 
-    std::vector<ReachStat> avg(schemes.size());
-    for (double goal : paperGoalSweep()) {
-        std::printf("%4.0f%%", 100 * goal);
-        for (std::size_t i = 0; i < schemes.size(); ++i) {
-            ReachStat rs;
-            for (const auto &[qos, bg] : pairs) {
-                CaseResult r = runCase(runner, {qos, bg}, {goal, 0.0},
+        std::vector<ReachStat> avg(schemes.size());
+        for (double goal : paperGoalSweep()) {
+            sw.printf("%4.0f%%", 100 * goal);
+            for (std::size_t i = 0; i < schemes.size(); ++i) {
+                ReachStat rs;
+                for (const auto &[qos, bg] : pairs) {
+                    CaseResult r = sw.run({qos, bg}, {goal, 0.0},
                                           schemes[i]);
-                rs.add(r.allReached());
-                avg[i].add(r.allReached());
+                    rs.add(r.allReached());
+                    avg[i].add(r.allReached());
+                }
+                sw.printf(" %10.3f", rs.reach());
             }
-            std::printf(" %10.3f", rs.reach());
+            sw.printf("\n");
         }
-        std::printf("\n");
-    }
-    std::printf("%-6s", "AVG");
-    for (const auto &stat : avg)
-        std::printf(" %10.3f", stat.reach());
-    std::printf("\n");
+        sw.printf("%-6s", "AVG");
+        for (const auto &stat : avg)
+            sw.printf(" %10.3f", stat.reach());
+        sw.printf("\n");
 
-    // ---- (b) one QoS kernel per trio ----
-    printHeader("Figure 6b: QoSreach, trios with one QoS kernel");
-    std::printf("%-6s %10s %10s\n", "goal", "spart", "rollover");
-    ReachStat avg_sp1, avg_ro1;
-    for (double goal : paperGoalSweep()) {
-        ReachStat sp, ro;
-        for (const auto &t : trios) {
-            CaseResult rs = runCase(runner, {t[0], t[1], t[2]},
+        // ---- (b) one QoS kernel per trio ----
+        sw.header("Figure 6b: QoSreach, trios with one QoS kernel");
+        sw.printf("%-6s %10s %10s\n", "goal", "spart", "rollover");
+        ReachStat avg_sp1, avg_ro1;
+        for (double goal : paperGoalSweep()) {
+            ReachStat sp, ro;
+            for (const auto &t : trios) {
+                CaseResult rs = sw.run({t[0], t[1], t[2]},
                                        {goal, 0.0, 0.0}, "spart");
-            CaseResult rr = runCase(runner, {t[0], t[1], t[2]},
-                                       {goal, 0.0, 0.0}, "rollover");
-            sp.add(rs.allReached());
-            ro.add(rr.allReached());
-            avg_sp1.add(rs.allReached());
-            avg_ro1.add(rr.allReached());
+                CaseResult rr = sw.run({t[0], t[1], t[2]},
+                                       {goal, 0.0, 0.0},
+                                       "rollover");
+                sp.add(rs.allReached());
+                ro.add(rr.allReached());
+                avg_sp1.add(rs.allReached());
+                avg_ro1.add(rr.allReached());
+            }
+            sw.printf("%4.0f%% %10.3f %10.3f\n", 100 * goal,
+                      sp.reach(), ro.reach());
         }
-        std::printf("%4.0f%% %10.3f %10.3f\n", 100 * goal,
-                    sp.reach(), ro.reach());
-    }
-    std::printf("%-6s %10.3f %10.3f\n", "AVG", avg_sp1.reach(),
-                avg_ro1.reach());
+        sw.printf("%-6s %10.3f %10.3f\n", "AVG", avg_sp1.reach(),
+                  avg_ro1.reach());
 
-    // ---- (c) two QoS kernels per trio ----
-    printHeader("Figure 6c: QoSreach, trios with two QoS kernels");
-    std::printf("%-8s %10s %10s\n", "goal", "spart", "rollover");
-    ReachStat avg_sp2, avg_ro2;
-    for (double goal : paperDualGoalSweep()) {
-        ReachStat sp, ro;
-        for (const auto &t : trios) {
-            CaseResult rs = runCase(runner, {t[0], t[1], t[2]},
+        // ---- (c) two QoS kernels per trio ----
+        sw.header("Figure 6c: QoSreach, trios with two QoS kernels");
+        sw.printf("%-8s %10s %10s\n", "goal", "spart", "rollover");
+        ReachStat avg_sp2, avg_ro2;
+        for (double goal : paperDualGoalSweep()) {
+            ReachStat sp, ro;
+            for (const auto &t : trios) {
+                CaseResult rs = sw.run({t[0], t[1], t[2]},
                                        {goal, goal, 0.0}, "spart");
-            CaseResult rr = runCase(runner, {t[0], t[1], t[2]},
+                CaseResult rr = sw.run({t[0], t[1], t[2]},
                                        {goal, goal, 0.0},
                                        "rollover");
-            sp.add(rs.allReached());
-            ro.add(rr.allReached());
-            avg_sp2.add(rs.allReached());
-            avg_ro2.add(rr.allReached());
+                sp.add(rs.allReached());
+                ro.add(rr.allReached());
+                avg_sp2.add(rs.allReached());
+                avg_ro2.add(rr.allReached());
+            }
+            sw.printf("2x%3.0f%% %10.3f %10.3f\n", 100 * goal,
+                      sp.reach(), ro.reach());
         }
-        std::printf("2x%3.0f%% %10.3f %10.3f\n", 100 * goal,
-                    sp.reach(), ro.reach());
-    }
-    std::printf("%-8s %10.3f %10.3f\n", "AVG", avg_sp2.reach(),
-                avg_ro2.reach());
+        sw.printf("%-8s %10.3f %10.3f\n", "AVG", avg_sp2.reach(),
+                  avg_ro2.reach());
 
-    std::printf("\n[paper] 6a AVG: Spart 0.788, Naive 0.206, "
-                "Rollover 0.884 (Elastic between)\n"
-                "[paper] 6b: Rollover +18.8%% over Spart; "
-                "6c: Rollover +43.8%% over Spart\n");
+        sw.printf("\n[paper] 6a AVG: Spart 0.788, Naive 0.206, "
+                  "Rollover 0.884 (Elastic between)\n"
+                  "[paper] 6b: Rollover +18.8%% over Spart; "
+                  "6c: Rollover +43.8%% over Spart\n");
+    });
     return 0;
 }

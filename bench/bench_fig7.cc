@@ -18,46 +18,51 @@ main(int argc, char **argv)
     Runner runner = makeRunner(args);
     auto pairs = selectedPairs(args);
 
-    std::map<std::string, ReachStat> per_kernel_sp, per_kernel_ro;
-    std::map<std::string, ReachStat> per_class_sp, per_class_ro;
+    Sweep sweep(runner, sweepOptions(args, "fig7"));
+    sweep.execute([&](Sweep &sw) {
+        std::map<std::string, ReachStat> per_kernel_sp,
+            per_kernel_ro;
+        std::map<std::string, ReachStat> per_class_sp, per_class_ro;
 
-    for (double goal : paperGoalSweep()) {
-        for (const auto &[qos, bg] : pairs) {
-            CaseResult rs = runCase(runner, {qos, bg}, {goal, 0.0},
+        for (double goal : paperGoalSweep()) {
+            for (const auto &[qos, bg] : pairs) {
+                CaseResult rs = sw.run({qos, bg}, {goal, 0.0},
                                        "spart");
-            CaseResult rr = runCase(runner, {qos, bg}, {goal, 0.0},
+                CaseResult rr = sw.run({qos, bg}, {goal, 0.0},
                                        "rollover");
-            per_kernel_sp[qos].add(rs.allReached());
-            per_kernel_ro[qos].add(rr.allReached());
-            std::string cls =
-                std::string(toString(parboilKernel(qos).wclass)) +
-                "+" + toString(parboilKernel(bg).wclass);
-            if (cls == "M+C")
-                cls = "C+M"; // unordered class pair
-            per_class_sp[cls].add(rs.allReached());
-            per_class_ro[cls].add(rr.allReached());
+                per_kernel_sp[qos].add(rs.allReached());
+                per_kernel_ro[qos].add(rr.allReached());
+                std::string cls =
+                    std::string(
+                        toString(parboilKernel(qos).wclass)) +
+                    "+" + toString(parboilKernel(bg).wclass);
+                if (cls == "M+C")
+                    cls = "C+M"; // unordered class pair
+                per_class_sp[cls].add(rs.allReached());
+                per_class_ro[cls].add(rr.allReached());
+            }
         }
-    }
 
-    printHeader("Figure 7: QoSreach per QoS kernel (pairs)");
-    std::printf("%-14s %10s %10s\n", "QoS kernel", "spart",
-                "rollover");
-    for (const auto &name : parboilNames()) {
-        if (!per_kernel_sp.count(name))
-            continue;
-        std::printf("%-14s %10.3f %10.3f\n", name.c_str(),
-                    per_kernel_sp[name].reach(),
-                    per_kernel_ro[name].reach());
-    }
-    for (const char *cls : {"C+C", "C+M", "M+M"}) {
-        if (!per_class_sp.count(cls))
-            continue;
-        std::printf("%-14s %10.3f %10.3f\n", cls,
-                    per_class_sp[cls].reach(),
-                    per_class_ro[cls].reach());
-    }
-    std::printf("\n[paper] C+C: both reach all goals; M+M: Spart "
-                "clearly below Rollover (no bandwidth control); "
-                "histo worst (short kernels)\n");
+        sw.header("Figure 7: QoSreach per QoS kernel (pairs)");
+        sw.printf("%-14s %10s %10s\n", "QoS kernel", "spart",
+                  "rollover");
+        for (const auto &name : parboilNames()) {
+            if (!per_kernel_sp.count(name))
+                continue;
+            sw.printf("%-14s %10.3f %10.3f\n", name.c_str(),
+                      per_kernel_sp[name].reach(),
+                      per_kernel_ro[name].reach());
+        }
+        for (const char *cls : {"C+C", "C+M", "M+M"}) {
+            if (!per_class_sp.count(cls))
+                continue;
+            sw.printf("%-14s %10.3f %10.3f\n", cls,
+                      per_class_sp[cls].reach(),
+                      per_class_ro[cls].reach());
+        }
+        sw.printf("\n[paper] C+C: both reach all goals; M+M: Spart "
+                  "clearly below Rollover (no bandwidth control); "
+                  "histo worst (short kernels)\n");
+    });
     return 0;
 }

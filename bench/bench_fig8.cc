@@ -15,21 +15,21 @@ namespace
 {
 
 void
-pairsTable(Runner &runner,
+pairsTable(Sweep &sw,
            const std::vector<std::pair<std::string, std::string>>
                &pairs)
 {
-    printHeader("Figure 8a: non-QoS throughput (pairs, "
-                "goal-met cases only)");
-    std::printf("%-6s %10s %10s\n", "goal", "spart", "rollover");
+    sw.header("Figure 8a: non-QoS throughput (pairs, "
+              "goal-met cases only)");
+    sw.printf("%-6s %10s %10s\n", "goal", "spart", "rollover");
     MeanStat avg_sp, avg_ro;
     for (double goal : paperGoalSweep()) {
         MeanStat sp, ro;
         for (const auto &[qos, bg] : pairs) {
-            CaseResult rs = runCase(runner, {qos, bg}, {goal, 0.0},
-                                       "spart");
-            CaseResult rr = runCase(runner, {qos, bg}, {goal, 0.0},
-                                       "rollover");
+            CaseResult rs = sw.run({qos, bg}, {goal, 0.0},
+                                   "spart");
+            CaseResult rr = sw.run({qos, bg}, {goal, 0.0},
+                                   "rollover");
             if (rs.allReached()) {
                 sp.add(rs.nonQosThroughput());
                 avg_sp.add(rs.nonQosThroughput());
@@ -39,21 +39,21 @@ pairsTable(Runner &runner,
                 avg_ro.add(rr.nonQosThroughput());
             }
         }
-        std::printf("%4.0f%% %10.3f %10.3f\n", 100 * goal,
-                    sp.mean(), ro.mean());
+        sw.printf("%4.0f%% %10.3f %10.3f\n", 100 * goal,
+                  sp.mean(), ro.mean());
     }
-    std::printf("%-6s %10.3f %10.3f\n", "AVG", avg_sp.mean(),
-                avg_ro.mean());
+    sw.printf("%-6s %10.3f %10.3f\n", "AVG", avg_sp.mean(),
+              avg_ro.mean());
 }
 
 void
-triosTable(Runner &runner,
+triosTable(Sweep &sw,
            const std::vector<std::array<std::string, 3>> &trios,
            int num_qos, const char *title,
            const std::vector<double> &goals, bool dual_label)
 {
-    printHeader(title);
-    std::printf("%-8s %10s %10s\n", "goal", "spart", "rollover");
+    sw.header(title);
+    sw.printf("%-8s %10s %10s\n", "goal", "spart", "rollover");
     MeanStat avg_sp, avg_ro;
     for (double goal : goals) {
         MeanStat sp, ro;
@@ -61,10 +61,10 @@ triosTable(Runner &runner,
             std::vector<double> gf = {goal, 0.0, 0.0};
             if (num_qos == 2)
                 gf[1] = goal;
-            CaseResult rs = runCase(runner, {t[0], t[1], t[2]}, gf,
-                                       "spart");
-            CaseResult rr = runCase(runner, {t[0], t[1], t[2]}, gf,
-                                       "rollover");
+            CaseResult rs = sw.run({t[0], t[1], t[2]}, gf,
+                                   "spart");
+            CaseResult rr = sw.run({t[0], t[1], t[2]}, gf,
+                                   "rollover");
             if (rs.allReached()) {
                 sp.add(rs.nonQosThroughput());
                 avg_sp.add(rs.nonQosThroughput());
@@ -74,12 +74,12 @@ triosTable(Runner &runner,
                 avg_ro.add(rr.nonQosThroughput());
             }
         }
-        std::printf("%s%3.0f%% %10.3f %10.3f\n",
-                    dual_label ? "2x" : "  ", 100 * goal,
-                    sp.mean(), ro.mean());
+        sw.printf("%s%3.0f%% %10.3f %10.3f\n",
+                  dual_label ? "2x" : "  ", 100 * goal,
+                  sp.mean(), ro.mean());
     }
-    std::printf("%-8s %10.3f %10.3f\n", "AVG", avg_sp.mean(),
-                avg_ro.mean());
+    sw.printf("%-8s %10.3f %10.3f\n", "AVG", avg_sp.mean(),
+              avg_ro.mean());
 }
 
 } // anonymous namespace
@@ -92,16 +92,19 @@ main(int argc, char **argv)
     auto pairs = selectedPairs(args);
     auto trios = selectedTrios(args);
 
-    pairsTable(runner, pairs);
-    triosTable(runner, trios, 1,
-               "Figure 8b: non-QoS throughput (trios, 1 QoS)",
-               paperGoalSweep(), false);
-    triosTable(runner, trios, 2,
-               "Figure 8c: non-QoS throughput (trios, 2 QoS)",
-               paperDualGoalSweep(), true);
+    Sweep sweep(runner, sweepOptions(args, "fig8"));
+    sweep.execute([&](Sweep &sw) {
+        pairsTable(sw, pairs);
+        triosTable(sw, trios, 1,
+                   "Figure 8b: non-QoS throughput (trios, 1 QoS)",
+                   paperGoalSweep(), false);
+        triosTable(sw, trios, 2,
+                   "Figure 8c: non-QoS throughput (trios, 2 QoS)",
+                   paperDualGoalSweep(), true);
 
-    std::printf("\n[paper] Rollover above Spart everywhere: +15.9%% "
-                "(pairs), +19.9%% (1-QoS trios), +20.5%% (2-QoS "
-                "trios); gap grows with the goal\n");
+        sw.printf("\n[paper] Rollover above Spart everywhere: "
+                  "+15.9%% (pairs), +19.9%% (1-QoS trios), +20.5%% "
+                  "(2-QoS trios); gap grows with the goal\n");
+    });
     return 0;
 }

@@ -1,19 +1,64 @@
 #!/usr/bin/env bash
 #
 # Tier-1 gate: configure, build and run the full test suite under
-# the plain Release preset and again under ASan+UBSan.
+# the plain Release preset, under ASan+UBSan, and under TSan, then
+# smoke-check the parallel sweep executor: a small bench_fig6 sweep
+# must print byte-identical stdout at --jobs 1 and --jobs 4, cold
+# and warm cache (the TSan binary runs the same sweep to catch
+# races in the executor and the shared result cache).
 #
-#   scripts/check.sh            # both presets
+#   scripts/check.sh            # all three presets + sweep smoke
 #   scripts/check.sh default    # just the fast one
-#   scripts/check.sh asan       # just the sanitized one
+#   scripts/check.sh asan       # just the address-sanitized one
+#   scripts/check.sh tsan       # just the thread-sanitized one
+#
+# Each preset's sweep smoke runs with --jobs 4, so every check.sh
+# invocation exercises the multi-threaded path.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-    presets=(default asan)
+    presets=(default asan tsan)
 fi
+
+builddir_for() {
+    case "$1" in
+        default) echo build ;;
+        *) echo "build-$1" ;;
+    esac
+}
+
+sweep_smoke() {
+    local preset="$1"
+    local bin
+    bin="$(builddir_for "$preset")/bench/bench_fig6"
+    local flags="--cycles 20000 --warmup 4000 --pairs 2 --trios 2"
+    local scratch
+    scratch="$(mktemp -d)"
+    trap 'rm -rf "$scratch"' RETURN
+
+    echo "==> [$preset] sweep smoke (jobs 1 vs 4, cold + warm)"
+    # shellcheck disable=SC2086 # word-splitting of $flags is wanted
+    "$bin" $flags --jobs 1 --cache "$scratch/c1" \
+        > "$scratch/j1.cold" 2>/dev/null
+    "$bin" $flags --jobs 4 --cache "$scratch/c4" \
+        > "$scratch/j4.cold" 2>/dev/null
+    "$bin" $flags --jobs 4 --cache "$scratch/c1" \
+        > "$scratch/j4.warm" 2>/dev/null
+    cmp "$scratch/j1.cold" "$scratch/j4.cold"
+    cmp "$scratch/j1.cold" "$scratch/j4.warm"
+
+    # Fault-injected sweeps must be deterministic at any job count.
+    GQOS_FAULT="cache_write:0.5" GQOS_FAULT_SEED=7 \
+        "$bin" $flags --jobs 1 --cache "$scratch/f1" \
+        > "$scratch/fault.j1" 2>/dev/null
+    GQOS_FAULT="cache_write:0.5" GQOS_FAULT_SEED=7 \
+        "$bin" $flags --jobs 4 --cache "$scratch/f4" \
+        > "$scratch/fault.j4" 2>/dev/null
+    cmp "$scratch/fault.j1" "$scratch/fault.j4"
+}
 
 for preset in "${presets[@]}"; do
     echo "==> [$preset] configure"
@@ -22,6 +67,7 @@ for preset in "${presets[@]}"; do
     cmake --build --preset "$preset" -j "$(nproc)"
     echo "==> [$preset] test"
     ctest --preset "$preset"
+    sweep_smoke "$preset"
 done
 
 echo "==> all checks passed"

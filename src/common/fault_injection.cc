@@ -1,6 +1,13 @@
 /**
  * @file
  * Fault-injector implementation.
+ *
+ * The decision Rng lives in thread-local storage: every thread owns
+ * an independent stream derived from the shared base seed, and
+ * beginScope() rebases the calling thread's stream onto a stable
+ * scope id (the sweep case index). Configuration and counters are
+ * shared across threads under a mutex; the fast path for a disarmed
+ * injector is one relaxed atomic load.
  */
 
 #include "common/fault_injection.hh"
@@ -11,6 +18,21 @@
 
 namespace gqos
 {
+
+namespace
+{
+
+/**
+ * Per-thread decision stream. A fresh thread starts from the
+ * default seed; reseed()/beginScope() replace the calling thread's
+ * stream, so sweep workers always scope before drawing.
+ */
+thread_local Rng tFaultRng{1};
+
+/** Domain tag decorrelating scope streams from plain reseeds. */
+constexpr std::uint64_t scopeTag = 0xfa017'5c09eull;
+
+} // anonymous namespace
 
 FaultInjector &
 FaultInjector::instance()
@@ -79,49 +101,75 @@ FaultInjector::configure(const std::string &spec)
 void
 FaultInjector::setRate(const std::string &site, double probability)
 {
+    std::lock_guard<std::mutex> guard(mutex_);
     if (probability <= 0.0) {
         sites_.erase(site);
     } else {
         sites_[site].probability = probability;
     }
-    armed_ = !sites_.empty();
+    armed_.store(!sites_.empty(), std::memory_order_relaxed);
 }
 
 void
 FaultInjector::clear()
 {
+    std::lock_guard<std::mutex> guard(mutex_);
     sites_.clear();
-    armed_ = false;
-    rng_.reseed(1);
+    armed_.store(false, std::memory_order_relaxed);
+    baseSeed_ = 1;
+    tFaultRng.reseed(1);
 }
 
 void
 FaultInjector::reseed(std::uint64_t seed)
 {
-    rng_.reseed(seed);
+    std::lock_guard<std::mutex> guard(mutex_);
+    baseSeed_ = seed;
+    tFaultRng.reseed(seed);
+}
+
+void
+FaultInjector::beginScope(std::uint64_t scopeId)
+{
+    std::uint64_t base;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        base = baseSeed_;
+    }
+    tFaultRng.reseed(mixSeed(base, scopeTag, scopeId));
 }
 
 bool
 FaultInjector::shouldFail(const char *site)
 {
-    if (!armed_)
+    if (!enabled())
         return false;
-    auto it = sites_.find(site);
-    if (it == sites_.end())
+    double probability;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        auto it = sites_.find(site);
+        if (it == sites_.end())
+            return false;
+        it->second.checked++;
+        probability = it->second.probability;
+    }
+    // The draw comes from the calling thread's own stream; no lock.
+    if (!tFaultRng.chance(probability))
         return false;
-    Site &s = it->second;
-    s.checked++;
-    if (!rng_.chance(s.probability))
-        return false;
-    s.injected++;
+    std::uint64_t count;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        count = ++sites_[site].injected;
+    }
     gqos_debug("fault injected at site '%s' (#%llu)", site,
-               static_cast<unsigned long long>(s.injected));
+               static_cast<unsigned long long>(count));
     return true;
 }
 
 std::uint64_t
 FaultInjector::checked(const std::string &site) const
 {
+    std::lock_guard<std::mutex> guard(mutex_);
     auto it = sites_.find(site);
     return it == sites_.end() ? 0 : it->second.checked;
 }
@@ -129,6 +177,7 @@ FaultInjector::checked(const std::string &site) const
 std::uint64_t
 FaultInjector::injected(const std::string &site) const
 {
+    std::lock_guard<std::mutex> guard(mutex_);
     auto it = sites_.find(site);
     return it == sites_.end() ? 0 : it->second.injected;
 }

@@ -14,13 +14,24 @@
  * programmatically via setRate(). Draws come from the repo's own
  * deterministic Rng, seeded by GQOS_FAULT_SEED (default 1), so a
  * faulty run is exactly reproducible.
+ *
+ * Threading: the injector may be consulted from any number of sweep
+ * worker threads at once. The decision stream is *per-thread*: each
+ * thread draws from its own Rng, (re)seeded from the base seed via
+ * beginScope(scopeId). The sweep executor scopes every case to its
+ * stable submission index, so which worker runs a case — or how
+ * many workers there are — cannot change the fault decisions that
+ * case sees; a GQOS_FAULT sweep is bit-identical at any --jobs.
+ * Site configuration and counters are shared and mutex-protected.
  */
 
 #ifndef GQOS_COMMON_FAULT_INJECTION_HH
 #define GQOS_COMMON_FAULT_INJECTION_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/rng.hh"
@@ -53,8 +64,20 @@ class FaultInjector
     /** Drop all configured sites and zero the counters. */
     void clear();
 
-    /** Re-seed the decision stream (deterministic replay). */
+    /**
+     * Re-seed the decision stream (deterministic replay). Sets the
+     * base seed and restarts the calling thread's stream from it.
+     */
     void reseed(std::uint64_t seed);
+
+    /**
+     * Rebase the calling thread's decision stream onto
+     * mix(baseSeed, scopeId). Called by the sweep executor with the
+     * case's stable submission index before each case, so fault
+     * decisions depend only on (seed, case) — never on thread
+     * placement or job count.
+     */
+    void beginScope(std::uint64_t scopeId);
 
     /** Re-read GQOS_FAULT / GQOS_FAULT_SEED (clears first). */
     void reloadFromEnv();
@@ -66,7 +89,11 @@ class FaultInjector
     bool shouldFail(const char *site);
 
     /** Any site configured with probability > 0? */
-    bool enabled() const { return armed_; }
+    bool
+    enabled() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
 
     /** Times shouldFail(site) was consulted. */
     std::uint64_t checked(const std::string &site) const;
@@ -84,9 +111,10 @@ class FaultInjector
         std::uint64_t injected = 0;
     };
 
+    mutable std::mutex mutex_;        //!< sites_ + counters + seed
     std::map<std::string, Site> sites_;
-    Rng rng_{1};
-    bool armed_ = false;
+    std::uint64_t baseSeed_ = 1;
+    std::atomic<bool> armed_{false};
 };
 
 /** Shorthand used at injection sites. */

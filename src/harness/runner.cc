@@ -1,36 +1,18 @@
 /**
  * @file
- * Harness implementation.
- *
- * Cache file format (version 2):
- *
- *     #gqos-cache v2
- *     <crc32-hex8>;key;ipc0,ipc1,...;ipw;preempt;dram;
- *
- * The CRC covers everything after the first ';' of the line. Files
- * are rewritten atomically (temp + rename) under an advisory flock
- * so concurrent bench binaries sharing a cache directory cannot
- * interleave partial writes; lines failing validation are moved to
- * a .quarantine side file, warned about once, and their cases are
- * re-simulated on demand.
+ * Harness implementation. The on-disk memoization lives in
+ * harness/result_cache.{hh,cc}; the Runner translates cases into
+ * cache keys, simulates on a miss, and derives the per-kernel
+ * goal/baseline bookkeeping from the raw cached numbers.
  */
 
 #include "harness/runner.hh"
 
-#include <fcntl.h>
-#include <sys/file.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 
-#include "common/checksum.hh"
 #include "common/fault_injection.hh"
 #include "common/logging.hh"
 #include "gpu/gpu.hh"
@@ -40,101 +22,6 @@
 
 namespace gqos
 {
-
-namespace
-{
-
-/**
- * Advisory exclusive lock on <path>.lock. Best effort: if the lock
- * file cannot be created the caller proceeds unlocked with a warn
- * (a read-only cache directory must not kill the run).
- */
-class FileLock
-{
-  public:
-    explicit FileLock(const std::string &path)
-    {
-        std::string lock_path = path + ".lock";
-        fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
-        if (fd_ < 0) {
-            gqos_warn("cannot create lock file '%s' (%s); cache "
-                      "updates are unlocked", lock_path.c_str(),
-                      std::strerror(errno));
-            return;
-        }
-        if (::flock(fd_, LOCK_EX) != 0) {
-            gqos_warn("flock('%s') failed (%s)", lock_path.c_str(),
-                      std::strerror(errno));
-            ::close(fd_);
-            fd_ = -1;
-        }
-    }
-
-    ~FileLock()
-    {
-        if (fd_ >= 0) {
-            ::flock(fd_, LOCK_UN);
-            ::close(fd_);
-        }
-    }
-
-    FileLock(const FileLock &) = delete;
-    FileLock &operator=(const FileLock &) = delete;
-
-    bool held() const { return fd_ >= 0; }
-
-  private:
-    int fd_ = -1;
-};
-
-/**
- * Crash-safe whole-file write: write to a sibling temp file, fsync,
- * then rename over @p path so readers see either the old or the new
- * content, never a torn mix.
- */
-Result<void>
-writeFileAtomic(const std::string &path, const std::string &content)
-{
-    std::string tmp = path + ".tmp." + std::to_string(::getpid());
-    FILE *f = std::fopen(tmp.c_str(), "w");
-    if (!f) {
-        return Error::format(ErrorCode::IoError,
-                             "cannot open '%s' for writing (%s)",
-                             tmp.c_str(), std::strerror(errno));
-    }
-    bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
-              content.size();
-    ok = std::fflush(f) == 0 && ok;
-    ok = ::fsync(::fileno(f)) == 0 && ok;
-    ok = std::fclose(f) == 0 && ok;
-    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return Error::format(ErrorCode::IoError,
-                             "atomic write of '%s' failed (%s)",
-                             path.c_str(), std::strerror(errno));
-    }
-    return {};
-}
-
-std::string
-formatDouble(double v)
-{
-    // Max precision so a cache round trip is bit-exact.
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
-
-/** "crc8hex;payload" for one cache record. */
-std::string
-sealLine(const std::string &payload)
-{
-    char crc[16];
-    std::snprintf(crc, sizeof(crc), "%08x", crc32(payload));
-    return std::string(crc) + ";" + payload;
-}
-
-} // anonymous namespace
 
 bool
 CaseResult::allReached() const
@@ -177,6 +64,12 @@ CaseResult::qosOvershoot() const
 Result<Runner>
 Runner::make(Options opts)
 {
+    return make(std::move(opts), nullptr);
+}
+
+Result<Runner>
+Runner::make(Options opts, std::shared_ptr<ResultCache> cache)
+{
     Result<GpuConfig> cfg = configByName(opts.configName);
     if (!cfg.ok())
         return cfg.error();
@@ -202,10 +95,12 @@ Runner::make(Options opts)
                                  ec.message().c_str());
         }
     }
-    return Runner(std::move(opts), std::move(cfg).value());
+    return Runner(std::move(opts), std::move(cfg).value(),
+                  std::move(cache));
 }
 
-Runner::Runner(Options opts, GpuConfig cfg)
+Runner::Runner(Options opts, GpuConfig cfg,
+               std::shared_ptr<ResultCache> cache)
     : opts_(std::move(opts)), cfg_(std::move(cfg))
 {
     if (opts_.freePreemption) {
@@ -219,7 +114,12 @@ Runner::Runner(Options opts, GpuConfig cfg)
                      std::to_string(opts_.warmupCycles) +
                      (opts_.freePreemption ? "-freepre" : "") +
                      ".csv";
-        loadCache();
+        if (cache) {
+            gqos_assert(cache->path() == cachePath_);
+            cache_ = std::move(cache);
+        } else {
+            cache_ = ResultCache::open(cachePath_);
+        }
     }
 }
 
@@ -238,171 +138,7 @@ Runner::caseKey(const std::vector<std::string> &kernels,
     return os.str();
 }
 
-/**
- * Validate and split one cache line into (key, case). Returns false
- * on any malformation: bad CRC field, CRC mismatch, or missing
- * payload fields.
- */
-bool
-Runner::parseCacheLine(const std::string &line, std::string &key,
-                       CachedCase &c)
-{
-    // Leading field: exactly 8 hex digits of CRC32.
-    if (line.size() < 10 || line[8] != ';')
-        return false;
-    char *end = nullptr;
-    std::string crc_text = line.substr(0, 8);
-    unsigned long stored = std::strtoul(crc_text.c_str(), &end, 16);
-    if (end != crc_text.c_str() + 8)
-        return false;
-    std::string payload = line.substr(9);
-    if (crc32(payload) != static_cast<std::uint32_t>(stored))
-        return false;
-
-    // payload: key;ipc0,ipc1,...;ipw;preempt;dram;
-    std::istringstream ls(payload);
-    std::string ipcs, ipw, pre, dram;
-    if (!std::getline(ls, key, ';') ||
-        !std::getline(ls, ipcs, ';') ||
-        !std::getline(ls, ipw, ';') ||
-        !std::getline(ls, pre, ';') ||
-        !std::getline(ls, dram, ';')) {
-        return false;
-    }
-    if (key.empty() || ipcs.empty())
-        return false;
-    c.ipc.clear();
-    std::istringstream is(ipcs);
-    std::string tok;
-    while (std::getline(is, tok, ','))
-        c.ipc.push_back(std::strtod(tok.c_str(), nullptr));
-    c.instrPerWatt = std::strtod(ipw.c_str(), nullptr);
-    c.preemptions = std::strtoull(pre.c_str(), nullptr, 10);
-    c.dramPerKcycle = std::strtod(dram.c_str(), nullptr);
-    return true;
-}
-
-void
-Runner::loadCache()
-{
-    quarantined_ = 0;
-    FileLock lock(cachePath_);
-    std::ifstream in(cachePath_);
-    if (!in)
-        return;
-
-    std::string header;
-    if (!std::getline(in, header) || header != cacheHeader) {
-        // Unrecognized or older format: never guess at its
-        // contents. Quarantine the whole file and start fresh; every
-        // case re-simulates.
-        in.close();
-        std::string quarantine = cachePath_ + ".corrupt";
-        std::rename(cachePath_.c_str(), quarantine.c_str());
-        gqos_warn("cache '%s' has %s ('%s'); moved to '%s', all "
-                  "cases will be re-simulated", cachePath_.c_str(),
-                  header.rfind("#gqos-cache", 0) == 0
-                      ? "a mismatched version"
-                      : "no valid header",
-                  header.substr(0, 40).c_str(), quarantine.c_str());
-        return;
-    }
-
-    std::vector<std::string> bad;
-    std::vector<std::string> good;
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.empty())
-            continue;
-        std::string key;
-        CachedCase c;
-        bool corrupt = faultAt("cache_read") ||
-                       !parseCacheLine(line, key, c);
-        if (corrupt) {
-            bad.push_back(line);
-            continue;
-        }
-        good.push_back(line);
-        cache_[key] = std::move(c);
-    }
-    in.close();
-
-    if (bad.empty())
-        return;
-
-    // Quarantine: preserve the corrupt lines for postmortem, drop
-    // them from the live file (atomically), and say so once. The
-    // affected cases re-simulate transparently on first use.
-    quarantined_ = static_cast<int>(bad.size());
-    std::string quarantine = cachePath_ + ".quarantine";
-    std::ofstream q(quarantine, std::ios::app);
-    for (const auto &l : bad)
-        q << l << "\n";
-    q.close();
-
-    std::string content = std::string(cacheHeader) + "\n";
-    for (const auto &l : good)
-        content += l + "\n";
-    Result<void> w = writeFileAtomic(cachePath_, content);
-    if (!w.ok())
-        gqos_warn("%s", w.error().message().c_str());
-    gqos_warn("quarantined %d corrupt cache line(s) from '%s' to "
-              "'%s'; affected cases will be re-simulated",
-              quarantined_, cachePath_.c_str(), quarantine.c_str());
-}
-
-void
-Runner::appendCache(const std::string &key, const CachedCase &c)
-{
-    if (!opts_.useCache)
-        return;
-    if (faultAt("cache_write")) {
-        gqos_warn("fault injection: dropped cache append for '%s'",
-                  key.c_str());
-        return;
-    }
-
-    std::string payload = key + ";";
-    for (std::size_t i = 0; i < c.ipc.size(); ++i)
-        payload += (i ? "," : "") + formatDouble(c.ipc[i]);
-    payload += ";" + formatDouble(c.instrPerWatt) + ";" +
-               std::to_string(c.preemptions) + ";" +
-               formatDouble(c.dramPerKcycle) + ";";
-    std::string line = sealLine(payload);
-    if (faultAt("cache_corrupt") && line.size() > 12) {
-        // Bit-flip one payload character *after* sealing, so the
-        // loader's CRC check must catch it.
-        line[12] ^= 0x01;
-    }
-
-    // Merge-append under the advisory lock: re-read the current file
-    // so lines appended by concurrent bench binaries survive, then
-    // atomically replace.
-    FileLock lock(cachePath_);
-    std::string content;
-    {
-        std::ifstream in(cachePath_);
-        std::string first;
-        if (in && std::getline(in, first) && first == cacheHeader) {
-            content = first + "\n";
-            std::string l;
-            while (std::getline(in, l)) {
-                if (!l.empty())
-                    content += l + "\n";
-            }
-        } else {
-            content = std::string(cacheHeader) + "\n";
-        }
-    }
-    content += line + "\n";
-    Result<void> w = writeFileAtomic(cachePath_, content);
-    if (!w.ok()) {
-        gqos_warn("cannot append to cache '%s': %s",
-                  cachePath_.c_str(), w.error().message().c_str());
-    }
-}
-
-Result<Runner::CachedCase>
+Result<CachedCase>
 Runner::simulate(const std::vector<std::string> &kernels,
                  const std::vector<double> &goal_frac,
                  const std::string &policy)
@@ -532,20 +268,16 @@ Runner::run(const std::vector<std::string> &kernels,
 
     std::string key = caseKey(kernels, goal_frac, policy);
     CachedCase c;
-    bool from_cache = false;
-    auto it = cache_.find(key);
-    if (opts_.useCache && it != cache_.end() &&
-        it->second.ipc.size() == kernels.size()) {
-        c = it->second;
-        from_cache = true;
-    } else {
+    bool from_cache = cache_ && cache_->lookup(key, c) &&
+                      c.ipc.size() == kernels.size();
+    if (!from_cache) {
         Result<CachedCase> sim = simulate(kernels, goal_frac,
                                           policy);
         if (!sim.ok())
             return sim.error();
         c = std::move(sim).value();
-        cache_[key] = c;
-        appendCache(key, c);
+        if (cache_)
+            cache_->insert(key, c);
     }
 
     CaseResult result;

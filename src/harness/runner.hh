@@ -7,23 +7,29 @@
  *
  * Robustness: user-input paths (construction, case runs) report
  * recoverable errors through Result instead of exiting, the on-disk
- * cache is versioned, CRC-protected, written atomically under an
- * advisory lock, and corrupt lines are quarantined and transparently
- * re-simulated. A watchdog aborts non-advancing simulations with a
- * structured error instead of spinning forever.
+ * cache (harness/result_cache.hh) is versioned, CRC-protected,
+ * written atomically under an advisory lock, and corrupt lines are
+ * quarantined and transparently re-simulated. A watchdog aborts
+ * non-advancing simulations with a structured error instead of
+ * spinning forever.
+ *
+ * Concurrency: one Runner must stay on one thread, but several
+ * Runners (one per sweep worker, see harness/sweep.hh) may share a
+ * single ResultCache, which is thread-safe.
  */
 
 #ifndef GQOS_HARNESS_RUNNER_HH
 #define GQOS_HARNESS_RUNNER_HH
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "arch/gpu_config.hh"
 #include "arch/types.hh"
 #include "common/result.hh"
+#include "harness/result_cache.hh"
 
 namespace gqos
 {
@@ -154,6 +160,16 @@ class Runner
      */
     static Result<Runner> make(Options opts);
 
+    /**
+     * Like make(), but share @p cache instead of opening (and
+     * re-loading) the cache file. Used by sweep workers so every
+     * thread sees one coherent memo. @p cache must back the same
+     * file the options resolve to; a null @p cache behaves exactly
+     * like make(opts).
+     */
+    static Result<Runner> make(Options opts,
+                               std::shared_ptr<ResultCache> cache);
+
     Runner(Runner &&) = default;
     Runner &operator=(Runner &&) = default;
 
@@ -177,44 +193,42 @@ class Runner
     /** Cases simulated (not served from cache) so far. */
     int simulatedCases() const { return simulated_; }
 
-    /** Cache lines quarantined by the last loadCache(). */
-    int quarantinedLines() const { return quarantined_; }
+    /** Cache lines quarantined while loading the cache file. */
+    int
+    quarantinedLines() const
+    {
+        return cache_ ? cache_->quarantinedLines() : 0;
+    }
 
     /** On-disk cache file backing this runner ("" if disabled). */
     const std::string &cachePath() const { return cachePath_; }
 
+    /** The cache instance, for sharing with make() (may be null). */
+    std::shared_ptr<ResultCache> sharedCache() const
+    {
+        return cache_;
+    }
+
     /** Header line expected at the top of every cache file. */
-    static constexpr const char *cacheHeader = "#gqos-cache v2";
+    static constexpr const char *cacheHeader = ResultCache::header;
 
   private:
-    struct CachedCase
-    {
-        std::vector<double> ipc;
-        double instrPerWatt;
-        std::uint64_t preemptions;
-        double dramPerKcycle;
-    };
-
-    Runner(Options opts, GpuConfig cfg);
+    Runner(Options opts, GpuConfig cfg,
+           std::shared_ptr<ResultCache> cache);
 
     std::string caseKey(const std::vector<std::string> &kernels,
                         const std::vector<double> &goal_frac,
                         const std::string &policy) const;
-    static bool parseCacheLine(const std::string &line,
-                               std::string &key, CachedCase &c);
     Result<CachedCase> simulate(
         const std::vector<std::string> &kernels,
         const std::vector<double> &goal_frac,
         const std::string &policy);
-    void loadCache();
-    void appendCache(const std::string &key, const CachedCase &c);
 
     Options opts_;
     GpuConfig cfg_;
     std::string cachePath_;
-    std::map<std::string, CachedCase> cache_;
+    std::shared_ptr<ResultCache> cache_;
     int simulated_ = 0;
-    int quarantined_ = 0;
 };
 
 /** Standard goal sweep of the paper: 50%..95% step 5%. */

@@ -234,12 +234,16 @@ TEST_F(HarnessFixture, VersionMismatchRetiresWholeFile)
     lines[0] = "#gqos-cache v1"; // stale format version
     writeLines(path, lines);
 
-    Runner runner = makeRunner();
-    // The stale file is set aside wholesale, not partially trusted.
-    EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
-    CaseResult r = runner.run({"sgemm", "lbm"}, {0.5, 0.0},
-                              "rollover").value();
-    EXPECT_FALSE(r.fromCache);
+    {
+        Runner runner = makeRunner();
+        // The stale file is set aside wholesale, not partially
+        // trusted.
+        EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+        CaseResult r = runner.run({"sgemm", "lbm"}, {0.5, 0.0},
+                                  "rollover").value();
+        EXPECT_FALSE(r.fromCache);
+        // Appends are batched; dropping the runner flushes them.
+    }
     // And the rebuilt file carries the current header again.
     auto rebuilt = readLines(path);
     ASSERT_FALSE(rebuilt.empty());
