@@ -15,6 +15,15 @@
  *   --full         paper-scale sweep (all 90 pairs / 60 trios)
  *   --jobs N       sweep worker threads (default: hardware
  *                  concurrency; 1 = classic sequential execution)
+ *   --trace=FILE[,format]
+ *                  stream per-epoch QoS telemetry to FILE; format
+ *                  "jsonl" (default) or "csv" (a .csv extension
+ *                  also selects CSV)
+ *   --stats-json=FILE
+ *                  write a structured end-of-run report (cases,
+ *                  sweeps, harness metrics) to FILE at exit
+ *   --quiet / --verbose
+ *                  lower / raise the log level
  *
  * Results are memoized in the cache directory, so running fig6
  * first makes fig7/8/9/14 nearly free. Case sweeps execute in
@@ -28,14 +37,18 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "harness/run_report.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
+#include "telemetry/trace.hh"
 #include "workloads/parboil.hh"
 
 namespace gqos::bench
@@ -46,9 +59,80 @@ namespace gqos::bench
 constexpr int defaultPairs = 18;
 constexpr int defaultTrios = 12;
 
+/**
+ * Process-wide telemetry owned by the bench binary. The trace sink,
+ * metrics registry and run report outlive every Runner (and every
+ * Options copy handed to sweep workers); the destructor — running at
+ * static teardown after main() returns — writes the --stats-json
+ * report and closes the trace file.
+ */
+struct BenchTelemetry
+{
+    std::unique_ptr<TraceSink> trace;
+    std::string tracePath;
+    std::string statsJsonPath;
+    MetricsRegistry metrics;
+    RunReport report;
+    bool initialized = false;
+
+    ~BenchTelemetry()
+    {
+        if (trace)
+            trace->flush();
+        if (statsJsonPath.empty())
+            return;
+        Result<void> w = report.writeFile(statsJsonPath, &metrics);
+        if (!w.ok()) {
+            gqos_warn("--stats-json: %s",
+                      w.error().message().c_str());
+        } else if (logLevel() != LogLevel::Quiet) {
+            // Status goes to stderr: bench stdout is figure data and
+            // must stay byte-identical with telemetry on or off.
+            std::fprintf(stderr, "info: wrote run report to %s\n",
+                         statsJsonPath.c_str());
+        }
+    }
+};
+
+inline BenchTelemetry &
+benchTelemetry()
+{
+    static BenchTelemetry t;
+    return t;
+}
+
+/**
+ * One-time CLI telemetry setup: log level from --quiet/--verbose,
+ * the trace sink from --trace, the report target from --stats-json.
+ * Idempotent; runnerOptions() calls it so every bench gets the flags
+ * without per-binary wiring.
+ */
+inline void
+initBenchTelemetry(const CliArgs &args)
+{
+    applyLogLevelFlags(args);
+    BenchTelemetry &t = benchTelemetry();
+    if (t.initialized)
+        return;
+    t.initialized = true;
+    const std::string spec = args.getString("trace", "");
+    if (!spec.empty()) {
+        t.trace = okOrDie(openTraceSink(spec));
+        t.tracePath = traceSpecPath(spec);
+        if (logLevel() != LogLevel::Quiet) {
+            std::fprintf(stderr,
+                         "info: tracing epoch telemetry to %s\n",
+                         t.tracePath.c_str());
+        }
+    }
+    t.statsJsonPath = args.getString("stats-json", "");
+}
+
 inline Runner::Options
 runnerOptions(const CliArgs &args, const std::string &config = "default")
 {
+    initBenchTelemetry(args);
+    BenchTelemetry &t = benchTelemetry();
     Runner::Options opts;
     opts.cycles = args.getInt("cycles", 200000);
     // An explicit --warmup is validated as-is by Runner::make; the
@@ -64,6 +148,12 @@ runnerOptions(const CliArgs &args, const std::string &config = "default")
     opts.cacheDir = cacheOn ? cache : ".qos_cache";
     opts.useCache = args.getBool("cache-enabled", cacheOn);
     opts.verbose = args.getBool("verbose", false);
+    opts.traceSink = t.trace.get();
+    opts.tracePath = t.tracePath;
+    if (!t.statsJsonPath.empty()) {
+        opts.metrics = &t.metrics;
+        opts.report = &t.report;
+    }
     return opts;
 }
 

@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    applyLogLevelFlags(args);
     Cycle cycles = args.getInt("cycles", 100000);
     GpuConfig cfg = args.getString("config", "default") == "large"
                         ? largeConfig()

@@ -26,6 +26,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    applyLogLevelFlags(args);
     auto kernels = splitList(
         args.getString("kernels", "mri-q,lbm,stencil"));
     auto goal_strs = splitList(args.getString("goals", "0.5,0.4"));

@@ -6,16 +6,19 @@
  *
  * Usage: policy_trace [--kernels sgemm,lbm] [--goals 0.9,0]
  *                     [--policy rollover] [--cycles 200000]
+ *                     [--trace epochs.jsonl] [--quiet|--verbose]
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "gpu/gpu.hh"
 #include "harness/runner.hh"
 #include "policy/policy_factory.hh"
+#include "telemetry/trace.hh"
 #include "workloads/parboil.hh"
 
 using namespace gqos;
@@ -24,6 +27,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    applyLogLevelFlags(args);
     auto kernels = splitList(args.getString("kernels", "sgemm,lbm"));
     auto goal_strs = splitList(args.getString("goals", "0.9,0"));
     std::string policy = args.getString("policy", "rollover");
@@ -59,6 +63,14 @@ main(int argc, char **argv)
     Gpu gpu(cfg);
     gpu.launch(descs);
     auto pol = okOrDie(makePolicy(policy, specs, cfg));
+    // The structured counterpart of the table below: stream every
+    // epoch record to a trace file while the ASCII trace prints.
+    std::unique_ptr<TraceSink> sink;
+    std::string trace_spec = args.getString("trace", "");
+    if (!trace_spec.empty()) {
+        sink = okOrDie(openTraceSink(trace_spec));
+        pol->attachTelemetry(sink.get(), nullptr);
+    }
     pol->onLaunch(gpu);
 
     std::printf("# policy: %s\n", pol->name().c_str());
@@ -104,5 +116,6 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(pre));
         }
     }
+    pol->onFinish(gpu);
     return 0;
 }

@@ -6,13 +6,16 @@
  *
  * Usage: quickstart [--qos sgemm] [--bg lbm] [--goal 0.9]
  *                   [--cycles 200000] [--policy rollover]
+ *                   [--trace epochs.jsonl] [--quiet|--verbose]
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "common/cli.hh"
 #include "harness/runner.hh"
+#include "telemetry/trace.hh"
 #include "workloads/parboil.hh"
 
 using namespace gqos;
@@ -21,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    applyLogLevelFlags(args);
     std::string qos_kernel = args.getString("qos", "sgemm");
     std::string bg_kernel = args.getString("bg", "lbm");
     double goal = args.getDouble("goal", 0.9);
@@ -31,6 +35,13 @@ main(int argc, char **argv)
     opts.warmupCycles = std::min<Cycle>(opts.warmupCycles,
                                         opts.cycles / 5);
     opts.useCache = false;
+    std::unique_ptr<TraceSink> trace;
+    std::string trace_spec = args.getString("trace", "");
+    if (!trace_spec.empty()) {
+        trace = okOrDie(openTraceSink(trace_spec));
+        opts.traceSink = trace.get();
+        opts.tracePath = traceSpecPath(trace_spec);
+    }
     Runner runner = okOrDie(Runner::make(opts));
 
     std::printf("GPU: %s\n", runner.config().summary().c_str());

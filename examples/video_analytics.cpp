@@ -28,6 +28,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    applyLogLevelFlags(args);
     double fps = args.getDouble("fps", 90.0);
     std::string video = args.getString("video", "sad");
     std::string train = args.getString("train", "sgemm");

@@ -58,6 +58,61 @@ sweep_smoke() {
         "$bin" $flags --jobs 4 --cache "$scratch/f4" \
         > "$scratch/fault.j4" 2>/dev/null
     cmp "$scratch/fault.j1" "$scratch/fault.j4"
+
+    trace_smoke "$preset"
+}
+
+trace_smoke() {
+    local preset="$1"
+    local bin
+    bin="$(builddir_for "$preset")/bench/bench_fig6"
+    local flags="--cycles 20000 --warmup 4000 --pairs 2 --trios 2"
+    local scratch
+    scratch="$(mktemp -d)"
+    trap 'rm -rf "$scratch"' RETURN
+
+    echo "==> [$preset] trace smoke (--trace/--stats-json, tracing is observer-only)"
+    # Telemetry must not perturb the simulation: stdout with tracing
+    # on must be byte-identical to the same fresh sweep without it.
+    # shellcheck disable=SC2086 # word-splitting of $flags is wanted
+    "$bin" $flags --jobs 4 --cache "$scratch/t0" \
+        > "$scratch/plain.out" 2>/dev/null
+    "$bin" $flags --jobs 4 --cache "$scratch/t1" \
+        --trace "$scratch/epochs.jsonl" \
+        --stats-json "$scratch/stats.json" \
+        > "$scratch/traced.out" 2>/dev/null
+    cmp "$scratch/plain.out" "$scratch/traced.out"
+    # Identical cache contents too (sealed result lines only; the
+    # .meta artifact sidecar is telemetry metadata by design).
+    cmp <(sort "$scratch/t0/"*.csv) <(sort "$scratch/t1/"*.csv)
+
+    [ -s "$scratch/epochs.jsonl" ] || {
+        echo "trace smoke: empty trace file" >&2; return 1; }
+    [ -s "$scratch/stats.json" ] || {
+        echo "trace smoke: empty stats file" >&2; return 1; }
+
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$scratch/epochs.jsonl" "$scratch/stats.json" <<'EOF'
+import json, sys
+trace, stats = sys.argv[1], sys.argv[2]
+kinds = {}
+with open(trace) as f:
+    for n, line in enumerate(f, 1):
+        rec = json.loads(line)   # every line must parse alone
+        kinds[rec["type"]] = kinds.get(rec["type"], 0) + 1
+assert kinds.get("epoch_kernel", 0) > 0, "no epoch_kernel records"
+assert kinds.get("epoch_mem", 0) > 0, "no epoch_mem records"
+with open(stats) as f:
+    rep = json.load(f)
+assert rep["cases"], "stats report has no cases"
+assert rep["sweeps"], "stats report has no sweeps"
+assert "metrics" in rep, "stats report has no metrics"
+print("trace smoke: %d trace records, %d cases, %d sweeps"
+      % (sum(kinds.values()), len(rep["cases"]), len(rep["sweeps"])))
+EOF
+    else
+        echo "trace smoke: python3 not found; skipping JSON validation"
+    fi
 }
 
 for preset in "${presets[@]}"; do

@@ -129,6 +129,15 @@ CliArgs::getBool(const std::string &name, bool def) const
                name.c_str(), v.c_str());
 }
 
+void
+applyLogLevelFlags(const CliArgs &args)
+{
+    if (args.getBool("quiet", false))
+        setLogLevel(LogLevel::Quiet);
+    else if (args.getBool("verbose", false))
+        setLogLevel(LogLevel::Verbose);
+}
+
 std::vector<std::string>
 splitList(const std::string &text, char sep)
 {

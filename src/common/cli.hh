@@ -60,6 +60,13 @@ class CliArgs
 std::vector<std::string> splitList(const std::string &text,
                                    char sep = ',');
 
+/**
+ * Apply --quiet / --verbose to the global log level (common/logging).
+ * --quiet wins when both are given. Call once from main() after
+ * parsing; does nothing when neither flag is present.
+ */
+void applyLogLevelFlags(const CliArgs &args);
+
 } // namespace gqos
 
 #endif // GQOS_COMMON_CLI_HH

@@ -182,4 +182,14 @@ FaultInjector::injected(const std::string &site) const
     return it == sites_.end() ? 0 : it->second.injected;
 }
 
+std::uint64_t
+FaultInjector::totalInjected() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::uint64_t n = 0;
+    for (const auto &[name, site] : sites_)
+        n += site.injected;
+    return n;
+}
+
 } // namespace gqos

@@ -101,6 +101,9 @@ class FaultInjector
     /** Times shouldFail(site) returned true. */
     std::uint64_t injected(const std::string &site) const;
 
+    /** Injections across all sites (harness reporting). */
+    std::uint64_t totalInjected() const;
+
   private:
     FaultInjector() = default;
 

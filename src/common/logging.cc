@@ -98,4 +98,25 @@ debugImpl(const char *fmt, ...)
     va_end(ap);
 }
 
+void
+assertFailImpl(const char *file, int line, const char *cond)
+{
+    panicImpl(file, line, "assertion failed: %s", cond);
+}
+
+void
+assertFailImpl(const char *file, int line, const char *cond,
+               const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: assertion failed: %s: ",
+                 file, line, cond);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+    std::abort();
+}
+
 } // namespace gqos

@@ -54,6 +54,18 @@ void informImpl(const char *fmt, ...);
 /** Print a verbose debug message (only at LogLevel::Verbose). */
 void debugImpl(const char *fmt, ...);
 
+/** gqos_assert failure with no message: report the condition. */
+[[noreturn]] void assertFailImpl(const char *file, int line,
+                                 const char *cond);
+
+/** gqos_assert failure with a printf-style explanation. */
+[[noreturn]]
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 4, 5)))
+#endif
+void assertFailImpl(const char *file, int line, const char *cond,
+                    const char *fmt, ...);
+
 } // namespace gqos
 
 #define gqos_panic(...) \
@@ -67,13 +79,15 @@ void debugImpl(const char *fmt, ...);
 /**
  * Lightweight always-on assertion used for cheap invariant checks in
  * the simulator core. Unlike assert(), it survives NDEBUG builds and
- * reports through panic().
+ * reports through panic(). An optional printf-style message after
+ * the condition is printed alongside the stringified condition:
+ * gqos_assert(q >= 0, "kernel %d quota went negative", k).
  */
 #define gqos_assert(cond, ...)                                        \
     do {                                                              \
         if (!(cond)) {                                                \
-            ::gqos::panicImpl(__FILE__, __LINE__,                     \
-                              "assertion failed: %s", #cond);         \
+            ::gqos::assertFailImpl(__FILE__, __LINE__,                \
+                                   #cond __VA_OPT__(, ) __VA_ARGS__); \
         }                                                             \
     } while (0)
 

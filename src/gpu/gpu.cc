@@ -232,4 +232,40 @@ Gpu::ipc(KernelId k) const
     return static_cast<double>(threadInstrs(k)) / now_;
 }
 
+double
+Gpu::iwAverage(KernelId k) const
+{
+    double sum = 0.0;
+    for (const auto &sm : sms_)
+        sum += sm.iwAverage(k);
+    return sms_.empty() ? 0.0 : sum / sms_.size();
+}
+
+double
+Gpu::gatedFraction(KernelId k) const
+{
+    double sum = 0.0;
+    for (const auto &sm : sms_)
+        sum += sm.gatedFraction(k);
+    return sms_.empty() ? 0.0 : sum / sms_.size();
+}
+
+std::uint64_t
+Gpu::quotaRefills(KernelId k) const
+{
+    std::uint64_t n = 0;
+    for (const auto &sm : sms_)
+        n += sm.kernelStats(k).quotaRefills;
+    return n;
+}
+
+int
+Gpu::totalTbTarget(KernelId k) const
+{
+    int n = 0;
+    for (std::size_t s = 0; s < sms_.size(); ++s)
+        n += tbTargets_[s][k];
+    return n;
+}
+
 } // namespace gqos

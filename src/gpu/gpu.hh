@@ -102,6 +102,18 @@ class Gpu
     /** GPU-wide IPC of kernel @p k over the whole run so far. */
     double ipc(KernelId k) const;
 
+    /** Mean idle-warp sample of @p k over all SMs (this epoch). */
+    double iwAverage(KernelId k) const;
+
+    /** Mean EWS-gated cycle fraction of @p k over all SMs. */
+    double gatedFraction(KernelId k) const;
+
+    /** Mid-epoch quota additions of @p k across SMs (lifetime). */
+    std::uint64_t quotaRefills(KernelId k) const;
+
+    /** Sum of @p k's per-SM TB targets. */
+    int totalTbTarget(KernelId k) const;
+
   private:
     void dispatchCycle();
     void onTbEvent(SmId sm, KernelId k, TbExit exit);

@@ -85,6 +85,18 @@ class ResultCache
     /** Write any pending appends to disk now. */
     void flush();
 
+    /**
+     * Record where an artifact of case @p key went (e.g. the trace
+     * file a simulation wrote), in the metadata sidecar <path>.meta.
+     * Kept out of the cache file itself so the CRC-sealed result
+     * lines stay byte-identical whether or not tracing was on.
+     */
+    void noteArtifact(const std::string &key,
+                      const std::string &value);
+
+    /** Artifact recorded for case @p key ("" if none). */
+    std::string artifact(const std::string &key) const;
+
     const std::string &path() const { return path_; }
 
     /** Lines quarantined while loading the file. */
@@ -112,6 +124,8 @@ class ResultCache
     mutable std::mutex mutex_;
     std::map<std::string, CachedCase> entries_;
     std::vector<std::string> pending_;
+    /** key -> artifact, mirrored in the .meta sidecar file. */
+    std::map<std::string, std::string> artifacts_;
     int quarantined_ = 0;
 };
 

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Structured run-report serialization.
+ */
+
+#include "harness/run_report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/metrics.hh"
+#include "telemetry/trace.hh"
+
+namespace gqos
+{
+
+namespace
+{
+
+std::string
+jsonNumber(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (const char *p = buf; *p; ++p) {
+        if (*p == 'n' || *p == 'i')
+            return "null";
+    }
+    return buf;
+}
+
+void
+writeKernel(std::ostream &os, const ReportKernel &k)
+{
+    os << "{\"name\":\"" << jsonEscape(k.name) << "\""
+       << ",\"is_qos\":" << (k.isQos ? "true" : "false")
+       << ",\"goal_frac\":" << jsonNumber(k.goalFrac)
+       << ",\"goal_ipc\":" << jsonNumber(k.goalIpc)
+       << ",\"ipc\":" << jsonNumber(k.ipc)
+       << ",\"ipc_isolated\":" << jsonNumber(k.ipcIsolated)
+       << ",\"reached\":" << (k.reached ? "true" : "false") << "}";
+}
+
+void
+writeCase(std::ostream &os, const ReportCase &c)
+{
+    os << "{\"key\":\"" << jsonEscape(c.key) << "\""
+       << ",\"policy\":\"" << jsonEscape(c.policy) << "\""
+       << ",\"config\":\"" << jsonEscape(c.config) << "\""
+       << ",\"from_cache\":" << (c.fromCache ? "true" : "false")
+       << ",\"wall_sec\":" << jsonNumber(c.wallSec)
+       << ",\"instr_per_watt\":" << jsonNumber(c.instrPerWatt)
+       << ",\"dram_per_kcycle\":" << jsonNumber(c.dramPerKcycle)
+       << ",\"preemptions\":" << c.preemptions
+       << ",\"trace\":\"" << jsonEscape(c.tracePath) << "\""
+       << ",\"kernels\":[";
+    for (std::size_t i = 0; i < c.kernels.size(); ++i) {
+        if (i)
+            os << ",";
+        writeKernel(os, c.kernels[i]);
+    }
+    os << "]}";
+}
+
+void
+writeSweep(std::ostream &os, const ReportSweep &s)
+{
+    os << "{\"label\":\"" << jsonEscape(s.label) << "\""
+       << ",\"total\":" << s.total
+       << ",\"cache_hits\":" << s.cacheHits
+       << ",\"jobs\":" << s.jobs
+       << ",\"elapsed_sec\":" << jsonNumber(s.elapsedSec)
+       << ",\"faults_injected\":" << s.faultsInjected
+       << ",\"faults_recovered\":" << s.faultsRecovered << "}";
+}
+
+} // anonymous namespace
+
+void
+RunReport::addCase(ReportCase c)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    cases_.push_back(std::move(c));
+}
+
+void
+RunReport::addSweep(ReportSweep s)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    sweeps_.push_back(std::move(s));
+}
+
+std::size_t
+RunReport::caseCount() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return cases_.size();
+}
+
+void
+RunReport::write(std::ostream &os,
+                 const MetricsRegistry *metrics) const
+{
+    std::vector<ReportCase> cases;
+    std::vector<ReportSweep> sweeps;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        cases = cases_;
+        sweeps = sweeps_;
+    }
+    // Deterministic output under parallel sweeps: order by case
+    // identity, not by worker completion time.
+    std::stable_sort(cases.begin(), cases.end(),
+                     [](const ReportCase &a, const ReportCase &b) {
+                         if (a.key != b.key)
+                             return a.key < b.key;
+                         return a.config < b.config;
+                     });
+
+    os << "{\"cases\":[";
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        if (i)
+            os << ",";
+        writeCase(os, cases[i]);
+    }
+    os << "],\"sweeps\":[";
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+        if (i)
+            os << ",";
+        writeSweep(os, sweeps[i]);
+    }
+    os << "],\"metrics\":";
+    if (metrics)
+        metrics->writeJson(os);
+    else
+        os << "{}";
+    os << "}\n";
+}
+
+Result<void>
+RunReport::writeFile(const std::string &path,
+                     const MetricsRegistry *metrics) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        return Error::format(ErrorCode::IoError,
+                             "cannot open stats file '%s'",
+                             path.c_str());
+    }
+    write(out, metrics);
+    out.close();
+    if (!out) {
+        return Error::format(ErrorCode::IoError,
+                             "write to stats file '%s' failed",
+                             path.c_str());
+    }
+    return {};
+}
+
+} // namespace gqos

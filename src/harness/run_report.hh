@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Structured end-of-run report (--stats-json).
+ *
+ * A RunReport collects one entry per top-level harness case (the
+ * nested isolated-baseline runs are folded into their parents) plus
+ * one entry per sweep, and serializes everything — together with the
+ * attached MetricsRegistry — as a single JSON document. Thread-safe:
+ * sweep workers append cases concurrently; write() sorts entries by
+ * case key so the emitted JSON does not depend on worker timing.
+ */
+
+#ifndef GQOS_HARNESS_RUN_REPORT_HH
+#define GQOS_HARNESS_RUN_REPORT_HH
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.hh"
+
+namespace gqos
+{
+
+class MetricsRegistry;
+
+/** Per-kernel slice of a report case. */
+struct ReportKernel
+{
+    std::string name;
+    bool isQos = false;
+    double goalFrac = 0.0;
+    double goalIpc = 0.0;
+    double ipc = 0.0;
+    double ipcIsolated = 0.0;
+    bool reached = true;
+};
+
+/** One top-level harness case. */
+struct ReportCase
+{
+    std::string key;       //!< cache key ("policy|k0:g0|...")
+    std::string policy;
+    std::string config;
+    bool fromCache = false;
+    double wallSec = 0.0;  //!< run() wall time (incl. baselines)
+    double instrPerWatt = 0.0;
+    double dramPerKcycle = 0.0;
+    std::uint64_t preemptions = 0;
+    /** Trace artifact of this case ("" when untraced). */
+    std::string tracePath;
+    std::vector<ReportKernel> kernels;
+};
+
+/** Aggregates of one runSweep() invocation. */
+struct ReportSweep
+{
+    std::string label;
+    int total = 0;
+    int cacheHits = 0;
+    int jobs = 1;
+    double elapsedSec = 0.0;
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t faultsRecovered = 0; //!< injected and survived
+};
+
+/**
+ * Collector behind --stats-json. Attach one to the Runner options;
+ * every top-level run() appends a case, runSweep() appends a sweep
+ * summary, and the CLI boundary calls writeFile() at exit.
+ */
+class RunReport
+{
+  public:
+    /** Append one case entry (thread-safe). */
+    void addCase(ReportCase c);
+
+    /** Append one sweep summary (thread-safe). */
+    void addSweep(ReportSweep s);
+
+    /** Case entries collected so far. */
+    std::size_t caseCount() const;
+
+    /**
+     * Serialize as one JSON object: {"cases":[...],"sweeps":[...],
+     * "metrics":{...}}. Cases are sorted by (key, config); sweeps
+     * keep insertion order. @p metrics may be null (emitted as {}).
+     */
+    void write(std::ostream &os,
+               const MetricsRegistry *metrics = nullptr) const;
+
+    /** write() to @p path via an ofstream. */
+    Result<void> writeFile(const std::string &path,
+                           const MetricsRegistry *metrics
+                           = nullptr) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<ReportCase> cases_;
+    std::vector<ReportSweep> sweeps_;
+};
+
+} // namespace gqos
+
+#endif // GQOS_HARNESS_RUN_REPORT_HH

@@ -8,6 +8,7 @@
 
 #include "harness/runner.hh"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -15,9 +16,12 @@
 
 #include "common/fault_injection.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "gpu/gpu.hh"
+#include "harness/run_report.hh"
 #include "policy/policy_factory.hh"
 #include "power/power_model.hh"
+#include "telemetry/trace.hh"
 #include "workloads/parboil.hh"
 
 namespace gqos
@@ -168,6 +172,17 @@ Runner::simulate(const std::vector<std::string> &kernels,
         makePolicy(policy, specs, cfg_);
     if (!pol.ok())
         return pol.error();
+    // Stamp this case's records so a shared multi-case trace file
+    // stays attributable; the proxy must outlive the run loop.
+    std::unique_ptr<CaseLabelingSink> case_sink;
+    if (opts_.traceSink) {
+        case_sink = std::make_unique<CaseLabelingSink>(
+            opts_.traceSink, caseKey(kernels, goal_frac, policy));
+    }
+    if (case_sink || opts_.metrics) {
+        pol.value()->attachTelemetry(case_sink.get(),
+                                     opts_.metrics);
+    }
     pol.value()->onLaunch(gpu);
 
     // Non-advancing simulations (a policy bug gating every warp
@@ -210,6 +225,8 @@ Runner::simulate(const std::vector<std::string> &kernels,
         }
     }
 
+    pol.value()->onFinish(gpu);
+
     Cycle window = opts_.cycles - warmup;
     CachedCase out;
     for (std::size_t i = 0; i < kernels.size(); ++i) {
@@ -226,6 +243,8 @@ Runner::simulate(const std::vector<std::string> &kernels,
     out.dramPerKcycle = 1000.0 *
         gpu.mem().totalDramAccesses() / std::max<Cycle>(1, gpu.now());
     simulated_++;
+    if (opts_.metrics)
+        opts_.metrics->counter("harness.cases_simulated").inc();
     if (opts_.verbose) {
         gqos_inform("simulated %s [%d done]",
                     caseKey(kernels, goal_frac, policy).c_str(),
@@ -266,6 +285,16 @@ Runner::run(const std::vector<std::string> &kernels,
         }
     }
 
+    // Isolated-baseline lookups recurse through run(); only the
+    // depth-1 (caller-visible) case feeds the report.
+    runDepth_++;
+    struct DepthGuard
+    {
+        int &d;
+        ~DepthGuard() { d--; }
+    } depth_guard{runDepth_};
+    auto t0 = std::chrono::steady_clock::now();
+
     std::string key = caseKey(kernels, goal_frac, policy);
     CachedCase c;
     bool from_cache = cache_ && cache_->lookup(key, c) &&
@@ -276,8 +305,31 @@ Runner::run(const std::vector<std::string> &kernels,
         if (!sim.ok())
             return sim.error();
         c = std::move(sim).value();
-        if (cache_)
+        if (cache_) {
             cache_->insert(key, c);
+            if (opts_.traceSink && !opts_.tracePath.empty())
+                cache_->noteArtifact(key, opts_.tracePath);
+        }
+    } else {
+        if (opts_.metrics)
+            opts_.metrics->counter("harness.cache_hits").inc();
+        if (opts_.traceSink) {
+            // A hit skips the simulation, so nothing lands in the
+            // requested trace. Point at the recorded artifact of
+            // the run that produced the entry, if any.
+            std::string prev =
+                cache_ ? cache_->artifact(key) : "";
+            if (!warnedTraceBypass_) {
+                warnedTraceBypass_ = true;
+                gqos_warn("cache hit for '%s' bypasses the "
+                          "requested trace%s%s; rerun with the "
+                          "cache disabled to re-trace cached cases",
+                          key.c_str(),
+                          prev.empty() ? ""
+                                       : " (earlier trace: ",
+                          prev.empty() ? "" : (prev + ")").c_str());
+            }
+        }
     }
 
     CaseResult result;
@@ -302,6 +354,40 @@ Runner::run(const std::vector<std::string> &kernels,
         }
         kr.goalIpc = kr.isQos ? goal_frac[i] * kr.ipcIsolated : 0.0;
         result.kernels.push_back(std::move(kr));
+    }
+
+    if (opts_.report && runDepth_ == 1) {
+        ReportCase rc;
+        rc.key = key;
+        rc.policy = policy;
+        rc.config = opts_.configName;
+        rc.fromCache = from_cache;
+        rc.wallSec = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0).count();
+        rc.instrPerWatt = result.instrPerWatt;
+        rc.dramPerKcycle = result.dramPerKcycle;
+        rc.preemptions = result.preemptions;
+        if (opts_.traceSink) {
+            rc.tracePath = from_cache && cache_
+                ? cache_->artifact(key)
+                : opts_.tracePath;
+        }
+        for (const auto &k : result.kernels) {
+            ReportKernel rk;
+            rk.name = k.name;
+            rk.isQos = k.isQos;
+            rk.goalFrac = k.goalFrac;
+            rk.goalIpc = k.goalIpc;
+            rk.ipc = k.ipc;
+            rk.ipcIsolated = k.ipcIsolated;
+            rk.reached = k.reached();
+            rc.kernels.push_back(std::move(rk));
+        }
+        if (opts_.metrics) {
+            opts_.metrics->observe("harness.case_wall_sec",
+                                   rc.wallSec);
+        }
+        opts_.report->addCase(std::move(rc));
     }
     return result;
 }

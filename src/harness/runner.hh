@@ -34,6 +34,10 @@
 namespace gqos
 {
 
+class TraceSink;
+class MetricsRegistry;
+class RunReport;
+
 /** Result for one kernel of a co-run case. */
 struct KernelResult
 {
@@ -151,6 +155,23 @@ class Runner
         bool verbose = false;
         /** Make partial context switches free (Section 4.8). */
         bool freePreemption = false;
+
+        // -- telemetry (observers, owned by the caller; all three
+        //    must outlive every Runner copied from these options) --
+
+        /**
+         * Epoch-trace sink shared by every case this runner (and
+         * its sweep workers) simulates. Records are stamped with
+         * the case key, so one file can hold a whole sweep. Null =
+         * no tracing. Tracing never changes simulation results.
+         */
+        TraceSink *traceSink = nullptr;
+        /** Where traceSink writes, recorded in reports/cache meta. */
+        std::string tracePath;
+        /** Registry for qos.* / harness.* metrics (null = off). */
+        MetricsRegistry *metrics = nullptr;
+        /** Per-case report collector (--stats-json; null = off). */
+        RunReport *report = nullptr;
     };
 
     /**
@@ -229,6 +250,13 @@ class Runner
     std::string cachePath_;
     std::shared_ptr<ResultCache> cache_;
     int simulated_ = 0;
+    /**
+     * run() nesting depth: isolated-baseline runs recurse through
+     * run(), and only depth-1 calls are report-worthy cases.
+     */
+    int runDepth_ = 0;
+    /** Cache-hits-bypass-tracing warned once per runner. */
+    bool warnedTraceBypass_ = false;
 };
 
 /** Standard goal sweep of the paper: 50%..95% step 5%. */

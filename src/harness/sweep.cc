@@ -30,6 +30,8 @@
 
 #include "common/fault_injection.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "harness/run_report.hh"
 
 namespace gqos
 {
@@ -102,6 +104,9 @@ runSweep(Runner &runner, const std::vector<SweepCase> &cases,
         *stats = SweepStats{};
     if (n == 0)
         return std::vector<CaseResult>{};
+
+    const std::uint64_t faultsBefore =
+        FaultInjector::instance().totalInjected();
 
     // ---- contexts: one per distinct GPU configuration ----
     std::vector<SweepContext> contexts;
@@ -303,11 +308,34 @@ runSweep(Runner &runner, const std::vector<SweepCase> &cases,
 
     const double secs = elapsedSec();
     const int used = static_cast<int>(std::min<std::size_t>(jobs, n));
+    const std::uint64_t faultsSeen =
+        FaultInjector::instance().totalInjected() - faultsBefore;
     if (stats) {
         stats->total = n;
         stats->cacheHits = hits.load();
         stats->jobs = used;
         stats->elapsedSec = secs;
+        stats->faultsInjected = faultsSeen;
+    }
+    if (RunReport *report = runner.options().report) {
+        ReportSweep rs;
+        rs.label = opts.label;
+        rs.total = static_cast<int>(n);
+        rs.cacheHits = static_cast<int>(hits.load());
+        rs.jobs = used;
+        rs.elapsedSec = secs;
+        rs.faultsInjected = faultsSeen;
+        // Every fault absorbed without surfacing an error counts as
+        // recovered; an aborted sweep makes no such claim.
+        rs.faultsRecovered = firstError ? 0 : faultsSeen;
+        report->addSweep(rs);
+    }
+    if (MetricsRegistry *metrics = runner.options().metrics) {
+        metrics->counter("harness.sweeps").inc();
+        metrics->counter("harness.sweep_cases").inc(n);
+        metrics->counter("harness.sweep_cache_hits")
+            .inc(hits.load());
+        metrics->observe("harness.sweep_wall_sec", secs);
     }
     if (opts.progress) {
         std::fprintf(stderr,

@@ -31,6 +31,7 @@
 #define GQOS_HARNESS_SWEEP_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,8 @@ struct SweepStats
     std::size_t cacheHits = 0;  //!< cases served from the cache
     int jobs = 1;               //!< workers actually used
     double elapsedSec = 0.0;    //!< wall clock of the sweep
+    /** Synthetic faults injected while this sweep ran. */
+    std::uint64_t faultsInjected = 0;
 };
 
 /** Default worker count: hardware threads (at least 1). */

@@ -178,4 +178,13 @@ MemSystem::totalL2Accesses() const
     return n;
 }
 
+std::uint64_t
+MemSystem::totalL2Misses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : partitions_)
+        n += p.l2().stats().misses;
+    return n;
+}
+
 } // namespace gqos

@@ -99,6 +99,9 @@ class MemSystem
     /** Total L2 accesses across partitions. */
     std::uint64_t totalL2Accesses() const;
 
+    /** Total L2 misses across partitions. */
+    std::uint64_t totalL2Misses() const;
+
     /** Partition index serving @p addr. */
     int partitionOf(Addr addr) const;
 

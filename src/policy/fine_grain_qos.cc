@@ -18,6 +18,22 @@ FineGrainQosPolicy::FineGrainQosPolicy(std::vector<QosSpec> specs,
 }
 
 void
+FineGrainQosPolicy::attachTelemetry(TraceSink *trace,
+                                    MetricsRegistry *metrics)
+{
+    quota_.attachTelemetry(trace, metrics);
+    staticAlloc_.attachTelemetry(trace, metrics);
+}
+
+void
+FineGrainQosPolicy::onFinish(Gpu &gpu)
+{
+    // Flush the trailing partial epoch so per-epoch instruction
+    // deltas sum to Gpu::threadInstrs() at run end.
+    quota_.finishTrace(gpu);
+}
+
+void
 FineGrainQosPolicy::onLaunch(Gpu &gpu)
 {
     staticAlloc_.installInitialTargets(gpu);

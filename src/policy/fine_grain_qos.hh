@@ -36,6 +36,9 @@ class FineGrainQosPolicy : public SharingPolicy
 
     void onLaunch(Gpu &gpu) override;
     void onCycle(Gpu &gpu) override;
+    void attachTelemetry(TraceSink *trace,
+                         MetricsRegistry *metrics) override;
+    void onFinish(Gpu &gpu) override;
     std::string name() const override;
 
     const QuotaController &quota() const { return quota_; }

@@ -27,6 +27,9 @@
 namespace gqos
 {
 
+class TraceSink;
+class MetricsRegistry;
+
 /**
  * Abstract base of all sharing policies.
  */
@@ -40,6 +43,20 @@ class SharingPolicy
 
     /** Called every cycle before Gpu::step(). */
     virtual void onCycle(Gpu &gpu) = 0;
+
+    /**
+     * Attach telemetry consumers (either may be null). Must be
+     * called before onLaunch(). Sinks observe only: attaching one
+     * never changes simulation results. Default: ignore.
+     */
+    virtual void attachTelemetry(TraceSink *, MetricsRegistry *) {}
+
+    /**
+     * Called once after the last simulated cycle so the policy can
+     * flush trailing telemetry (e.g. the final partial epoch).
+     * Default: nothing.
+     */
+    virtual void onFinish(Gpu &) {}
 
     /** Policy name for reports. */
     virtual std::string name() const = 0;

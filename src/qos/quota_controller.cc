@@ -9,6 +9,7 @@
 
 #include "common/fault_injection.hh"
 #include "common/logging.hh"
+#include "telemetry/trace.hh"
 
 namespace gqos
 {
@@ -65,6 +66,111 @@ QuotaController::QuotaController(std::vector<QosSpec> specs,
 }
 
 void
+QuotaController::attachTelemetry(TraceSink *trace,
+                                 MetricsRegistry *metrics)
+{
+    trace_ = trace;
+    if (metrics) {
+        epochsCtr_ = &metrics->counter("qos.epochs");
+        elasticRestartsCtr_ =
+            &metrics->counter("qos.elastic_restarts");
+        refillGrantsCtr_ = &metrics->counter("qos.refill_grants");
+    } else {
+        epochsCtr_ = nullptr;
+        elasticRestartsCtr_ = nullptr;
+        refillGrantsCtr_ = nullptr;
+    }
+}
+
+void
+QuotaController::emitEpochTrace(Gpu &gpu, bool final_partial)
+{
+    Cycle now = gpu.now();
+    Cycle len = now - epochStart_;
+    int num_sms = gpu.numSms();
+
+    // Memory-system deltas over the ended epoch.
+    const MemSystem &mem = gpu.mem();
+    MemCounters cur;
+    cur.l1Accesses = mem.stats().l1Accesses;
+    cur.l1Misses = mem.stats().l1Misses;
+    cur.l2Accesses = mem.totalL2Accesses();
+    cur.l2Misses = mem.totalL2Misses();
+    cur.dramAccesses = mem.totalDramAccesses();
+    cur.contextLines = mem.stats().contextLines;
+
+    EpochMemRecord m;
+    m.epoch = epochIndex_;
+    m.start = epochStart_;
+    m.length = len;
+    m.finalPartial = final_partial;
+    m.l1Accesses = cur.l1Accesses - traceMemAt_.l1Accesses;
+    m.l1Misses = cur.l1Misses - traceMemAt_.l1Misses;
+    m.l2Accesses = cur.l2Accesses - traceMemAt_.l2Accesses;
+    m.l2Misses = cur.l2Misses - traceMemAt_.l2Misses;
+    m.dramAccesses = cur.dramAccesses - traceMemAt_.dramAccesses;
+    m.contextLines = cur.contextLines - traceMemAt_.contextLines;
+    traceMemAt_ = cur;
+    trace_->onEpochMem(m);
+
+    for (std::size_t k = 0; k < specs_.size(); ++k) {
+        KernelId kid = static_cast<KernelId>(k);
+        EpochKernelRecord r;
+        r.epoch = epochIndex_;
+        r.start = epochStart_;
+        r.length = len;
+        r.finalPartial = final_partial;
+        r.kernel = kid;
+        r.isQos = specs_[k].hasGoal;
+        r.goalIpc = r.isQos ? specs_[k].ipcGoal : 0.0;
+        r.nonQosGoal = r.isQos ? 0.0 : nonQosGoal_[k];
+        r.alpha = alpha_[k];
+        std::uint64_t instr = gpu.threadInstrs(kid);
+        r.instrDelta = instr - instrAtEpochStart_[k];
+        r.ipcEpoch = len > 0
+            ? static_cast<double>(r.instrDelta) / len
+            : 0.0;
+        // Post-settle lifetime IPC as of *now* (instrTotal_ still
+        // holds the previous boundary's value at this point).
+        r.ipcHistory = settled_ && now > settleCycle_
+            ? static_cast<double>(instr - instrAtSettle_[k]) /
+                  (now - settleCycle_)
+            : 0.0;
+        r.attainment = r.isQos && specs_[k].ipcGoal > 0.0
+            ? r.ipcEpoch / specs_[k].ipcGoal
+            : 0.0;
+        r.quotaGranted = epochTotalQuota_[k];
+        const KernelDispatchState &ds = gpu.dispatchState(kid);
+        r.completedTbs = ds.completedTbs - traceCompletedAt_[k];
+        r.preemptedTbs = ds.preemptedTbs - tracePreemptedAt_[k];
+        traceCompletedAt_[k] = ds.completedTbs;
+        tracePreemptedAt_[k] = ds.preemptedTbs;
+        std::uint64_t refills = gpu.quotaRefills(kid);
+        r.quotaRefills = refills - traceRefillsAt_[k];
+        traceRefillsAt_[k] = refills;
+        r.tbTarget = gpu.totalTbTarget(kid);
+        r.tbResident = gpu.totalResidentTbs(kid);
+        r.iwAverage = gpu.iwAverage(kid);
+        r.gatedFraction = gpu.gatedFraction(kid);
+        r.leftoverPerSm.reserve(num_sms);
+        for (int s = 0; s < num_sms; ++s)
+            r.leftoverPerSm.push_back(gpu.sm(s).quota(kid));
+        trace_->onEpochKernel(r);
+    }
+}
+
+void
+QuotaController::finishTrace(Gpu &gpu)
+{
+    if (!trace_ || traceFinished_)
+        return;
+    traceFinished_ = true;
+    if (gpu.now() > epochStart_)
+        emitEpochTrace(gpu, true);
+    trace_->flush();
+}
+
+void
 QuotaController::onLaunch(Gpu &gpu)
 {
     if (static_cast<std::size_t>(gpu.numKernels()) != specs_.size())
@@ -78,6 +184,13 @@ QuotaController::onLaunch(Gpu &gpu)
     pendingRelease_.assign(gpu.numSms(),
                            std::vector<double>(specs_.size(), 0.0));
     released_.assign(gpu.numSms(), true);
+    if (trace_) {
+        traceCompletedAt_.assign(specs_.size(), 0);
+        tracePreemptedAt_.assign(specs_.size(), 0);
+        traceRefillsAt_.assign(specs_.size(), 0);
+        traceMemAt_ = MemCounters();
+        traceFinished_ = false;
+    }
     beginEpoch(gpu, true);
 }
 
@@ -115,6 +228,14 @@ QuotaController::beginEpoch(Gpu &gpu, bool initial)
 {
     Cycle now = gpu.now();
     Cycle epoch_cycles = now - epochStart_;
+
+    // Trace first: the record must describe the epoch that just
+    // ended, so it is taken before any bookkeeping below mutates
+    // alpha, the non-QoS goals or the quota counters.
+    if (trace_ && !initial)
+        emitEpochTrace(gpu, false);
+    if (epochsCtr_ && !initial)
+        epochsCtr_->inc();
 
     // 1. Per-kernel accounting over the epoch that just ended.
     for (std::size_t k = 0; k < specs_.size(); ++k) {
@@ -254,6 +375,8 @@ QuotaController::onCycle(Gpu &gpu)
                 all = false;
         }
         if (all) {
+            if (elasticRestartsCtr_)
+                elasticRestartsCtr_->inc();
             beginEpoch(gpu, false);
             new_epoch = true;
         }
@@ -295,6 +418,8 @@ QuotaController::onCycle(Gpu &gpu)
                     share = nonQosGoalMin * epochLength_ /
                             gpu.numSms();
                 sm.addQuota(j, share);
+                if (refillGrantsCtr_)
+                    refillGrantsCtr_->inc();
             }
         }
     }

@@ -27,11 +27,14 @@
 #include <vector>
 
 #include "arch/types.hh"
+#include "common/metrics.hh"
 #include "gpu/gpu.hh"
 #include "qos/qos_spec.hh"
 
 namespace gqos
 {
+
+class TraceSink;
 
 /** Quota allocation scheme (Section 3.4). */
 enum class QuotaScheme : std::uint8_t
@@ -92,6 +95,23 @@ class QuotaController
     QuotaController(std::vector<QosSpec> specs, QuotaOptions opts,
                     Cycle epoch_length);
 
+    /**
+     * Attach telemetry consumers (either may be null); call before
+     * onLaunch(). The trace sink receives one EpochKernelRecord per
+     * (epoch, kernel) and one EpochMemRecord per epoch, emitted at
+     * the epoch boundary for the epoch that just ended. Sinks only
+     * observe — simulation results do not depend on attachment.
+     */
+    void attachTelemetry(TraceSink *trace, MetricsRegistry *metrics);
+
+    /**
+     * Emit trace records for the trailing partial epoch (run end).
+     * Safe to call multiple times and without a sink attached; the
+     * summed instruction deltas of all emitted records then equal
+     * Gpu::threadInstrs() per kernel.
+     */
+    void finishTrace(Gpu &gpu);
+
     /** Enable gating and allocate the first epoch's quotas. */
     void onLaunch(Gpu &gpu);
 
@@ -135,6 +155,7 @@ class QuotaController
     double historyAt(KernelId k, Cycle now) const;
     void distributeQuota(Gpu &gpu, KernelId k, double total_quota);
     bool qosQuotasExhausted(const SmCore &sm) const;
+    void emitEpochTrace(Gpu &gpu, bool final_partial);
 
     std::vector<QosSpec> specs_;
     QuotaOptions opts_;
@@ -164,6 +185,28 @@ class QuotaController
     /** Rollover-Time: non-QoS quota stashed until QoS drains. */
     std::vector<std::vector<double>> pendingRelease_;
     std::vector<bool> released_;
+
+    // ---- telemetry (pure observers; null = disabled) ----
+
+    TraceSink *trace_ = nullptr;
+    MetricsRegistry::Counter *epochsCtr_ = nullptr;
+    MetricsRegistry::Counter *elasticRestartsCtr_ = nullptr;
+    MetricsRegistry::Counter *refillGrantsCtr_ = nullptr;
+
+    /** Snapshots diffed per epoch; maintained only when tracing. */
+    std::vector<std::uint64_t> traceCompletedAt_;
+    std::vector<std::uint64_t> tracePreemptedAt_;
+    std::vector<std::uint64_t> traceRefillsAt_;
+    struct MemCounters
+    {
+        std::uint64_t l1Accesses = 0;
+        std::uint64_t l1Misses = 0;
+        std::uint64_t l2Accesses = 0;
+        std::uint64_t l2Misses = 0;
+        std::uint64_t dramAccesses = 0;
+        std::uint64_t contextLines = 0;
+    } traceMemAt_;
+    bool traceFinished_ = false;
 };
 
 } // namespace gqos

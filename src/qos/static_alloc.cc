@@ -9,6 +9,7 @@
 
 #include "common/logging.hh"
 #include "qos/quota_controller.hh"
+#include "telemetry/trace.hh"
 
 namespace gqos
 {
@@ -36,6 +37,35 @@ StaticAllocator::StaticAllocator(std::vector<QosSpec> specs,
 {
     qosIds_ = qosKernels(specs_);
     nonQosIds_ = nonQosKernels(specs_);
+}
+
+void
+StaticAllocator::attachTelemetry(TraceSink *trace,
+                                 MetricsRegistry *metrics)
+{
+    trace_ = trace;
+    tbSwapsCtr_ = metrics ? &metrics->counter("qos.tb_swaps")
+                          : nullptr;
+}
+
+void
+StaticAllocator::emitEvent(const Gpu &gpu,
+                           const QuotaController &quota, SmId sm,
+                           KernelId k, int delta, const char *reason)
+{
+    if (tbSwapsCtr_)
+        tbSwapsCtr_->inc();
+    if (!trace_)
+        return;
+    AllocEventRecord ev;
+    ev.epoch = quota.epochIndex();
+    ev.cycle = gpu.now();
+    ev.sm = sm;
+    ev.kernel = k;
+    ev.delta = delta;
+    ev.reason = reason;
+    ev.iwAverage = gpu.sm(sm).iwAverage(k);
+    trace_->onAllocEvent(ev);
 }
 
 bool
@@ -309,11 +339,14 @@ StaticAllocator::adjust(Gpu &gpu, const QuotaController &quota)
                     if (victim >= 0) {
                         gpu.setTbTarget(s, victim,
                                         gpu.tbTarget(s, victim) - 1);
+                        emitEvent(gpu, quota, s, victim, -1,
+                                  "evict");
                     } else {
                         gpu.setTbTarget(s, j, target); // revert
                         continue;
                     }
                 }
+                emitEvent(gpu, quota, s, j, +1, "restore");
                 break; // one adjustment per SM per epoch
             }
             continue;
@@ -342,6 +375,8 @@ StaticAllocator::adjust(Gpu &gpu, const QuotaController &quota)
                     if (victim >= 0) {
                         gpu.setTbTarget(s, victim,
                                         gpu.tbTarget(s, victim) - 1);
+                        emitEvent(gpu, quota, s, victim, -1,
+                                  "evict");
                         adjusted = true;
                     }
                 }
@@ -358,13 +393,16 @@ StaticAllocator::adjust(Gpu &gpu, const QuotaController &quota)
             // otherwise a victim TB is evicted to make room.
             if (core.canAccept(k)) {
                 gpu.setTbTarget(s, k, target + 1);
+                emitEvent(gpu, quota, s, k, +1, "grow");
                 adjusted = true;
             } else {
                 int victim = pickVictim(gpu, s, k, quota);
                 if (victim >= 0) {
                     gpu.setTbTarget(s, victim,
                                     gpu.tbTarget(s, victim) - 1);
+                    emitEvent(gpu, quota, s, victim, -1, "evict");
                     gpu.setTbTarget(s, k, target + 1);
+                    emitEvent(gpu, quota, s, k, +1, "grow");
                     adjusted = true;
                 }
             }

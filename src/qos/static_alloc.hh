@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "common/metrics.hh"
 #include "gpu/gpu.hh"
 #include "qos/qos_spec.hh"
 
@@ -23,6 +24,7 @@ namespace gqos
 {
 
 class QuotaController;
+class TraceSink;
 
 /** Options of the static allocator. */
 struct StaticAllocOptions
@@ -39,6 +41,13 @@ class StaticAllocator
   public:
     StaticAllocator(std::vector<QosSpec> specs,
                     StaticAllocOptions opts = {});
+
+    /**
+     * Attach telemetry consumers (either may be null). The trace
+     * sink receives one AllocEventRecord per TB-target change made
+     * by adjust(); reverted decisions emit nothing. Observers only.
+     */
+    void attachTelemetry(TraceSink *trace, MetricsRegistry *metrics);
 
     /** Compute and install the initial symmetric TB targets. */
     void installInitialTargets(Gpu &gpu);
@@ -67,6 +76,9 @@ class StaticAllocator
     int pickQosVictimExcept(const Gpu &gpu, SmId sm,
                             KernelId except,
                             const QuotaController &quota) const;
+    void emitEvent(const Gpu &gpu, const QuotaController &quota,
+                   SmId sm, KernelId k, int delta,
+                   const char *reason);
 
     std::vector<QosSpec> specs_;
     StaticAllocOptions opts_;
@@ -81,6 +93,11 @@ class StaticAllocator
     std::vector<double> prevIpcEpoch_;
     /** Kernels currently judged under goal. */
     std::vector<bool> underNow_;
+
+    // ---- telemetry (pure observers; null = disabled) ----
+
+    TraceSink *trace_ = nullptr;
+    MetricsRegistry::Counter *tbSwapsCtr_ = nullptr;
 };
 
 } // namespace gqos

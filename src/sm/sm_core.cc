@@ -695,6 +695,7 @@ SmCore::addQuota(KernelId k, double q)
 {
     gqos_assert(k >= 0 && k < maxKernels);
     kernels_[k].quota += q;
+    kernels_[k].stats.quotaRefills++;
 }
 
 double

@@ -43,6 +43,12 @@ struct SmKernelStats
     std::uint64_t iwSampleSum = 0;  //!< idle-warp sample accumulator
     std::uint32_t iwSamples = 0;
     std::uint64_t gatedCycles = 0;  //!< cycles spent quota-gated
+    /**
+     * Mid-epoch quota additions (refill grants and Rollover-Time
+     * releases). Lifetime-monotonic: not cleared at epoch
+     * boundaries, consumers snapshot and diff.
+     */
+    std::uint64_t quotaRefills = 0;
 };
 
 /** Per-SM activity statistics (power model inputs). */

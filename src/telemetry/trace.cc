@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Trace-sink backends: JSONL and CSV.
+ */
+
+#include "telemetry/trace.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace gqos
+{
+
+namespace
+{
+
+/** JSON-safe number (see metrics.cc): null for non-finite. */
+std::string
+jsonNumber(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (const char *p = buf; *p; ++p) {
+        if (*p == 'n' || *p == 'i')
+            return "null";
+    }
+    return buf;
+}
+
+/** Shorter form for CSV cells (still round-trip exact). */
+std::string
+csvNumber(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+leftoverList(const std::vector<double> &v, char sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            out += sep;
+        out += csvNumber(v[i]);
+    }
+    return out;
+}
+
+std::string
+jsonlEpochKernel(const EpochKernelRecord &r)
+{
+    std::ostringstream os;
+    os << "{\"type\":\"epoch_kernel\""
+       << ",\"case\":\"" << jsonEscape(r.caseKey) << "\""
+       << ",\"epoch\":" << r.epoch
+       << ",\"start\":" << r.start
+       << ",\"length\":" << r.length
+       << ",\"final_partial\":" << (r.finalPartial ? "true" : "false")
+       << ",\"kernel\":" << r.kernel
+       << ",\"is_qos\":" << (r.isQos ? "true" : "false")
+       << ",\"goal_ipc\":" << jsonNumber(r.goalIpc)
+       << ",\"non_qos_goal\":" << jsonNumber(r.nonQosGoal)
+       << ",\"alpha\":" << jsonNumber(r.alpha)
+       << ",\"ipc_epoch\":" << jsonNumber(r.ipcEpoch)
+       << ",\"ipc_history\":" << jsonNumber(r.ipcHistory)
+       << ",\"attainment\":" << jsonNumber(r.attainment)
+       << ",\"quota_granted\":" << jsonNumber(r.quotaGranted)
+       << ",\"instr_delta\":" << r.instrDelta
+       << ",\"completed_tbs\":" << r.completedTbs
+       << ",\"preempted_tbs\":" << r.preemptedTbs
+       << ",\"quota_refills\":" << r.quotaRefills
+       << ",\"tb_target\":" << r.tbTarget
+       << ",\"tb_resident\":" << r.tbResident
+       << ",\"iw_average\":" << jsonNumber(r.iwAverage)
+       << ",\"gated_fraction\":" << jsonNumber(r.gatedFraction)
+       << ",\"leftover_per_sm\":[";
+    for (std::size_t i = 0; i < r.leftoverPerSm.size(); ++i)
+        os << (i ? "," : "") << jsonNumber(r.leftoverPerSm[i]);
+    os << "]}";
+    return os.str();
+}
+
+std::string
+jsonlEpochMem(const EpochMemRecord &r)
+{
+    std::ostringstream os;
+    os << "{\"type\":\"epoch_mem\""
+       << ",\"case\":\"" << jsonEscape(r.caseKey) << "\""
+       << ",\"epoch\":" << r.epoch
+       << ",\"start\":" << r.start
+       << ",\"length\":" << r.length
+       << ",\"final_partial\":" << (r.finalPartial ? "true" : "false")
+       << ",\"l1_accesses\":" << r.l1Accesses
+       << ",\"l1_misses\":" << r.l1Misses
+       << ",\"l2_accesses\":" << r.l2Accesses
+       << ",\"l2_misses\":" << r.l2Misses
+       << ",\"dram_accesses\":" << r.dramAccesses
+       << ",\"context_lines\":" << r.contextLines << "}";
+    return os.str();
+}
+
+std::string
+jsonlAllocEvent(const AllocEventRecord &r)
+{
+    std::ostringstream os;
+    os << "{\"type\":\"alloc_event\""
+       << ",\"case\":\"" << jsonEscape(r.caseKey) << "\""
+       << ",\"epoch\":" << r.epoch
+       << ",\"cycle\":" << r.cycle
+       << ",\"sm\":" << r.sm
+       << ",\"kernel\":" << r.kernel
+       << ",\"delta\":" << r.delta
+       << ",\"reason\":\"" << jsonEscape(r.reason) << "\""
+       << ",\"iw_average\":" << jsonNumber(r.iwAverage) << "}";
+    return os.str();
+}
+
+// Column order of the CSV backend; keep in sync with the three
+// csv*() formatters below.
+const char *kCsvHeader =
+    "type,case,epoch,start,length,final_partial,kernel,is_qos,"
+    "goal_ipc,non_qos_goal,alpha,ipc_epoch,ipc_history,attainment,"
+    "quota_granted,instr_delta,completed_tbs,preempted_tbs,"
+    "quota_refills,tb_target,tb_resident,iw_average,gated_fraction,"
+    "leftover_per_sm,l1_accesses,l1_misses,l2_accesses,l2_misses,"
+    "dram_accesses,context_lines,cycle,sm,delta,reason";
+
+std::string
+csvEpochKernel(const EpochKernelRecord &r)
+{
+    std::ostringstream os;
+    os << "epoch_kernel," << csvField(r.caseKey) << ','
+       << r.epoch << ',' << r.start << ',' << r.length << ','
+       << (r.finalPartial ? 1 : 0) << ',' << r.kernel << ','
+       << (r.isQos ? 1 : 0) << ',' << csvNumber(r.goalIpc) << ','
+       << csvNumber(r.nonQosGoal) << ',' << csvNumber(r.alpha) << ','
+       << csvNumber(r.ipcEpoch) << ',' << csvNumber(r.ipcHistory)
+       << ',' << csvNumber(r.attainment) << ','
+       << csvNumber(r.quotaGranted) << ',' << r.instrDelta << ','
+       << r.completedTbs << ',' << r.preemptedTbs << ','
+       << r.quotaRefills << ',' << r.tbTarget << ',' << r.tbResident
+       << ',' << csvNumber(r.iwAverage) << ','
+       << csvNumber(r.gatedFraction) << ','
+       << leftoverList(r.leftoverPerSm, '|')
+       << ",,,,,,,,,,"; // mem + event columns empty
+    return os.str();
+}
+
+std::string
+csvEpochMem(const EpochMemRecord &r)
+{
+    std::ostringstream os;
+    os << "epoch_mem," << csvField(r.caseKey) << ',' << r.epoch
+       << ',' << r.start << ',' << r.length << ','
+       << (r.finalPartial ? 1 : 0)
+       << ",,,,,,,,,,,,,,,,,," // kernel columns empty
+       << r.l1Accesses << ',' << r.l1Misses << ',' << r.l2Accesses
+       << ',' << r.l2Misses << ',' << r.dramAccesses << ','
+       << r.contextLines << ",,,,"; // event columns empty
+    return os.str();
+}
+
+std::string
+csvAllocEvent(const AllocEventRecord &r)
+{
+    std::ostringstream os;
+    os << "alloc_event," << csvField(r.caseKey) << ',' << r.epoch
+       << ",,,," << r.kernel << ','
+       << ",,,,,,,,,,,,,"
+       << csvNumber(r.iwAverage)
+       << ",,,,,,,,," // gated..context_lines empty
+       << r.cycle << ',' << r.sm << ',' << r.delta << ','
+       << csvField(r.reason);
+    return os.str();
+}
+
+Result<std::FILE *>
+openFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        return Error(ErrorCode::IoError,
+                     "cannot open trace file '" + path +
+                         "': " + std::strerror(errno));
+    }
+    return f;
+}
+
+} // anonymous namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+CaseLabelingSink::onEpochKernel(const EpochKernelRecord &rec)
+{
+    EpochKernelRecord labeled = rec;
+    labeled.caseKey = caseKey_;
+    inner_->onEpochKernel(labeled);
+}
+
+void
+CaseLabelingSink::onEpochMem(const EpochMemRecord &rec)
+{
+    EpochMemRecord labeled = rec;
+    labeled.caseKey = caseKey_;
+    inner_->onEpochMem(labeled);
+}
+
+void
+CaseLabelingSink::onAllocEvent(const AllocEventRecord &rec)
+{
+    AllocEventRecord labeled = rec;
+    labeled.caseKey = caseKey_;
+    inner_->onAllocEvent(labeled);
+}
+
+Result<std::unique_ptr<JsonlTraceSink>>
+JsonlTraceSink::open(const std::string &path)
+{
+    auto f = openFile(path);
+    if (!f.ok())
+        return f.error();
+    return std::unique_ptr<JsonlTraceSink>(
+        new JsonlTraceSink(f.value()));
+}
+
+JsonlTraceSink::~JsonlTraceSink()
+{
+    std::fclose(file_);
+}
+
+void
+JsonlTraceSink::writeLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+}
+
+void
+JsonlTraceSink::onEpochKernel(const EpochKernelRecord &rec)
+{
+    writeLine(jsonlEpochKernel(rec));
+}
+
+void
+JsonlTraceSink::onEpochMem(const EpochMemRecord &rec)
+{
+    writeLine(jsonlEpochMem(rec));
+}
+
+void
+JsonlTraceSink::onAllocEvent(const AllocEventRecord &rec)
+{
+    writeLine(jsonlAllocEvent(rec));
+}
+
+void
+JsonlTraceSink::flush()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::fflush(file_);
+}
+
+Result<std::unique_ptr<CsvTraceSink>>
+CsvTraceSink::open(const std::string &path)
+{
+    auto f = openFile(path);
+    if (!f.ok())
+        return f.error();
+    auto sink =
+        std::unique_ptr<CsvTraceSink>(new CsvTraceSink(f.value()));
+    sink->writeLine(kCsvHeader);
+    return sink;
+}
+
+CsvTraceSink::~CsvTraceSink()
+{
+    std::fclose(file_);
+}
+
+void
+CsvTraceSink::writeLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+}
+
+void
+CsvTraceSink::onEpochKernel(const EpochKernelRecord &rec)
+{
+    writeLine(csvEpochKernel(rec));
+}
+
+void
+CsvTraceSink::onEpochMem(const EpochMemRecord &rec)
+{
+    writeLine(csvEpochMem(rec));
+}
+
+void
+CsvTraceSink::onAllocEvent(const AllocEventRecord &rec)
+{
+    writeLine(csvAllocEvent(rec));
+}
+
+void
+CsvTraceSink::flush()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::fflush(file_);
+}
+
+namespace
+{
+
+/**
+ * Does the text after the last comma of a spec look like an intended
+ * format token? Anything short without path characters ('.', '/')
+ * counts, so "trace.jsonl,yaml" is rejected as an unknown format
+ * instead of silently becoming a file named "trace.jsonl,yaml",
+ * while commas inside genuine file names stay usable.
+ */
+bool
+looksLikeFormatToken(const std::string &tail)
+{
+    return !tail.empty() && tail.size() <= 8 &&
+           tail.find('.') == std::string::npos &&
+           tail.find('/') == std::string::npos;
+}
+
+} // anonymous namespace
+
+std::string
+traceSpecPath(const std::string &spec)
+{
+    auto comma = spec.rfind(',');
+    if (comma == std::string::npos)
+        return spec;
+    if (looksLikeFormatToken(spec.substr(comma + 1)))
+        return spec.substr(0, comma);
+    return spec; // trailing part is not a format; keep whole spec
+}
+
+Result<std::unique_ptr<TraceSink>>
+openTraceSink(const std::string &spec)
+{
+    std::string path = spec;
+    std::string format;
+    auto comma = spec.rfind(',');
+    if (comma != std::string::npos &&
+        looksLikeFormatToken(spec.substr(comma + 1))) {
+        format = spec.substr(comma + 1);
+        path = spec.substr(0, comma);
+        if (format != "jsonl" && format != "csv") {
+            return Error(ErrorCode::InvalidArgument,
+                         "unknown trace format '" + format +
+                             "' in spec '" + spec +
+                             "' (want jsonl or csv)");
+        }
+    }
+    if (path.empty()) {
+        return Error(ErrorCode::InvalidArgument,
+                     "empty trace file path in spec '" + spec + "'");
+    }
+    if (format.empty()) {
+        format = path.size() >= 4 &&
+                         path.compare(path.size() - 4, 4, ".csv") == 0
+                     ? "csv"
+                     : "jsonl";
+    }
+    if (format == "csv") {
+        auto sink = CsvTraceSink::open(path);
+        if (!sink.ok())
+            return sink.error();
+        return std::unique_ptr<TraceSink>(std::move(sink.value()));
+    }
+    auto sink = JsonlTraceSink::open(path);
+    if (!sink.ok())
+        return sink.error();
+    return std::unique_ptr<TraceSink>(std::move(sink.value()));
+}
+
+} // namespace gqos
