@@ -15,6 +15,9 @@
  *   --full         paper-scale sweep (all 90 pairs / 60 trios)
  *   --jobs N       sweep worker threads (default: hardware
  *                  concurrency; 1 = classic sequential execution)
+ *   --engine K     stepping engine: "event" (default; skips
+ *                  provably inert cycles) or "reference" (per-cycle
+ *                  loop). Results are bit-identical either way.
  *   --trace=FILE[,format]
  *                  stream per-epoch QoS telemetry to FILE; format
  *                  "jsonl" (default) or "csv" (a .csv extension
@@ -148,6 +151,8 @@ runnerOptions(const CliArgs &args, const std::string &config = "default")
     opts.cacheDir = cacheOn ? cache : ".qos_cache";
     opts.useCache = args.getBool("cache-enabled", cacheOn);
     opts.verbose = args.getBool("verbose", false);
+    opts.engine = okOrDie(
+        parseEngineKind(args.getString("engine", "event")));
     opts.traceSink = t.trace.get();
     opts.tracePath = t.tracePath;
     if (!t.statsJsonPath.empty()) {

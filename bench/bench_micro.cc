@@ -9,10 +9,12 @@
 #include <benchmark/benchmark.h>
 
 #include "arch/gpu_config.hh"
+#include "engine/sim_engine.hh"
 #include "gpu/gpu.hh"
 #include "mem/cache.hh"
 #include "mem/mem_system.hh"
 #include "common/rng.hh"
+#include "policy/fine_grain_qos.hh"
 #include "workloads/parboil.hh"
 
 using namespace gqos;
@@ -86,5 +88,43 @@ BM_GpuStepMemory(benchmark::State &state)
         gpu.step();
 }
 BENCHMARK(BM_GpuStepMemory);
+
+/**
+ * Whole-simulation throughput under each stepping engine: a QoS +
+ * background co-run driven through SimEngine for 50k cycles per
+ * iteration. cycles_per_sec is the headline number bench_speed.sh
+ * aggregates into BENCH_speed.json.
+ */
+static void
+BM_Engine(benchmark::State &state, EngineKind kind, const char *qos,
+          const char *bg)
+{
+    GpuConfig cfg = defaultConfig();
+    const KernelDesc &dq = parboilKernel(qos);
+    const KernelDesc &db = parboilKernel(bg);
+    constexpr Cycle simCycles = 50000;
+    Cycle total = 0;
+    for (auto _ : state) {
+        Gpu gpu(cfg);
+        gpu.launch({&dq, &db});
+        FineGrainQosPolicy pol({QosSpec::qos(250.0),
+                                QosSpec::nonQos()},
+                               FineGrainOptions{}, cfg.epochLength);
+        pol.onLaunch(gpu);
+        SimEngine engine(kind, cfg.epochLength);
+        engine.runUntil(gpu, pol, simCycles);
+        total += gpu.now();
+    }
+    state.counters["cycles_per_sec"] = benchmark::Counter(
+        static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_Engine, event_mem, EngineKind::Event, "lbm",
+                  "spmv");
+BENCHMARK_CAPTURE(BM_Engine, reference_mem, EngineKind::Reference,
+                  "lbm", "spmv");
+BENCHMARK_CAPTURE(BM_Engine, event_compute, EngineKind::Event,
+                  "sgemm", "cutcp");
+BENCHMARK_CAPTURE(BM_Engine, reference_compute, EngineKind::Reference,
+                  "sgemm", "cutcp");
 
 BENCHMARK_MAIN();

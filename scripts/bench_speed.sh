@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+#
+# Engine throughput benchmark: measures simulated cycles per second
+# under the event and reference stepping engines and writes
+# BENCH_speed.json at the repo root. The headline number is the
+# memory-bound speedup (event over reference), which the event
+# engine must keep >= 1.3x.
+#
+# Methodology: wall-clock on a loaded single-core box is noisy, so
+# bench_micro runs with 8 repetitions under random interleaving and
+# reports aggregates only; medians are compared. A small fig6 sweep
+# per engine cross-checks the microbenchmark against the end-to-end
+# harness throughput (sim_cycles_per_sec in --stats-json).
+#
+#   scripts/bench_speed.sh [builddir]   # default: ./build (Release)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+builddir=${1:-build}
+out=BENCH_speed.json
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+
+echo "==> bench_micro BM_Engine (8 interleaved repetitions)"
+"$builddir/bench/bench_micro" \
+    --benchmark_filter='BM_Engine' \
+    --benchmark_repetitions=8 \
+    --benchmark_enable_random_interleaving=true \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json \
+    > "$scratch/micro.json"
+
+echo "==> fig6 harness cross-check (per-engine sim_cycles_per_sec)"
+flags="--cycles 20000 --warmup 4000 --pairs 2 --jobs 1"
+# shellcheck disable=SC2086 # word-splitting of $flags is wanted
+"$builddir/bench/bench_fig6" $flags --engine event \
+    --cache "$scratch/ev" --stats-json "$scratch/ev.json" \
+    > /dev/null 2>&1
+# shellcheck disable=SC2086
+"$builddir/bench/bench_fig6" $flags --engine reference \
+    --cache "$scratch/ref" --stats-json "$scratch/ref.json" \
+    > /dev/null 2>&1
+
+python3 - "$scratch/micro.json" "$scratch/ev.json" \
+    "$scratch/ref.json" "$out" <<'EOF'
+import json
+import sys
+
+micro_path, ev_path, ref_path, out_path = sys.argv[1:5]
+
+with open(micro_path) as f:
+    micro = json.load(f)
+
+med = {}
+for b in micro["benchmarks"]:
+    if b.get("aggregate_name") != "median":
+        continue
+    for case in ("event_mem", "reference_mem",
+                 "event_compute", "reference_compute"):
+        if f"/{case}" in b["run_name"]:
+            med[case] = b["cycles_per_sec"]
+missing = [c for c in ("event_mem", "reference_mem",
+                       "event_compute", "reference_compute")
+           if c not in med]
+assert not missing, f"missing medians for {missing}"
+
+
+def harness(path):
+    with open(path) as f:
+        rep = json.load(f)
+    vals = [c["sim_cycles_per_sec"] for c in rep["cases"]]
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+report = {
+    "source": "bench_micro BM_Engine, medians of 8 interleaved "
+              "repetitions",
+    "cycles_per_sec": med,
+    "speedup": {
+        "memory_bound": med["event_mem"] / med["reference_mem"],
+        "compute_bound":
+            med["event_compute"] / med["reference_compute"],
+    },
+    "harness_fig6": {
+        "event_sim_cycles_per_sec": harness(ev_path),
+        "reference_sim_cycles_per_sec": harness(ref_path),
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(json.dumps(report, indent=2))
+mem = report["speedup"]["memory_bound"]
+assert mem >= 1.3, f"memory-bound speedup {mem:.3f}x < 1.3x"
+print(f"OK: memory-bound speedup {mem:.3f}x >= 1.3x")
+EOF
+
+echo "==> wrote $out"

@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 #
 # Tier-1 gate: configure, build and run the full test suite under
-# the plain Release preset, under ASan+UBSan, and under TSan, then
-# smoke-check the parallel sweep executor: a small bench_fig6 sweep
-# must print byte-identical stdout at --jobs 1 and --jobs 4, cold
-# and warm cache (the TSan binary runs the same sweep to catch
-# races in the executor and the shared result cache).
+# the plain Release preset, under ASan+UBSan, under standalone
+# UBSan, and under TSan, then smoke-check the parallel sweep
+# executor: a small bench_fig6 sweep must print byte-identical
+# stdout at --jobs 1 and --jobs 4, cold and warm cache (the TSan
+# binary runs the same sweep to catch races in the executor and
+# the shared result cache). The default preset additionally runs
+# the engine differential smoke: every simulating figure bench
+# must print byte-identical stdout (and byte-identical --trace
+# JSONL) under --engine event and --engine reference.
 #
-#   scripts/check.sh            # all three presets + sweep smoke
+#   scripts/check.sh            # all four presets + smokes
 #   scripts/check.sh default    # just the fast one
 #   scripts/check.sh asan       # just the address-sanitized one
+#   scripts/check.sh ubsan      # just the UB-sanitized one
 #   scripts/check.sh tsan       # just the thread-sanitized one
 #
 # Each preset's sweep smoke runs with --jobs 4, so every check.sh
@@ -20,7 +25,7 @@ cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-    presets=(default asan tsan)
+    presets=(default asan ubsan tsan)
 fi
 
 builddir_for() {
@@ -115,6 +120,45 @@ EOF
     fi
 }
 
+engine_smoke() {
+    local preset="$1"
+    local bdir
+    bdir="$(builddir_for "$preset")/bench"
+    local flags="--cycles 20000 --warmup 4000 --pairs 2 --trios 2 --jobs 1"
+    local scratch
+    scratch="$(mktemp -d)"
+    trap 'rm -rf "$scratch"' RETURN
+
+    echo "==> [$preset] engine smoke (event vs reference, byte-identical)"
+    # The event engine must be an unobservable optimization: every
+    # simulating figure bench prints byte-identical stdout and emits
+    # a byte-identical --trace JSONL under both engines. Each engine
+    # gets its own cold cache so both actually simulate.
+    # (bench_table1 is excluded: it prints a static table and never
+    # runs the cycle loop.)
+    local benches="bench_fig5 bench_fig6 bench_fig7 bench_fig8 \
+bench_fig9 bench_fig10 bench_fig11 bench_fig12_13 bench_fig14 \
+bench_ablations bench_fairness"
+    local b
+    for b in $benches; do
+        # shellcheck disable=SC2086 # word-splitting of $flags is wanted
+        "$bdir/$b" $flags --engine event \
+            --cache "$scratch/$b.ev" \
+            --trace "$scratch/$b.ev.jsonl" \
+            > "$scratch/$b.ev.out" 2>/dev/null
+        # shellcheck disable=SC2086
+        "$bdir/$b" $flags --engine reference \
+            --cache "$scratch/$b.ref" \
+            --trace "$scratch/$b.ref.jsonl" \
+            > "$scratch/$b.ref.out" 2>/dev/null
+        cmp "$scratch/$b.ev.out" "$scratch/$b.ref.out" || {
+            echo "engine smoke: $b stdout differs" >&2; return 1; }
+        cmp "$scratch/$b.ev.jsonl" "$scratch/$b.ref.jsonl" || {
+            echo "engine smoke: $b trace differs" >&2; return 1; }
+        echo "    $b: identical"
+    done
+}
+
 for preset in "${presets[@]}"; do
     echo "==> [$preset] configure"
     cmake --preset "$preset"
@@ -123,6 +167,11 @@ for preset in "${presets[@]}"; do
     echo "==> [$preset] test"
     ctest --preset "$preset"
     sweep_smoke "$preset"
+    # The engine differential smoke simulates 11 benches twice; run
+    # it once, on the fast Release binary.
+    if [ "$preset" = default ]; then
+        engine_smoke "$preset"
+    fi
 done
 
 echo "==> all checks passed"

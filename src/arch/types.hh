@@ -26,6 +26,13 @@ using SmId = int;
 /** Sentinel for "no kernel". */
 constexpr KernelId invalidKernel = -1;
 
+/**
+ * Sentinel cycle meaning "never" / "no scheduled event". Components
+ * return it from their nextEventAt()-style queries when nothing will
+ * ever happen without external input (see engine/sim_engine.hh).
+ */
+constexpr Cycle cycleNever = ~Cycle{0};
+
 /** Maximum concurrent kernels in one co-run. */
 constexpr int maxKernels = 8;
 

@@ -21,6 +21,8 @@ Gpu::Gpu(const GpuConfig &cfg)
     iwSampleInterval_ = cfg_.epochLength / cfg_.iwSamplesPerEpoch;
     if (iwSampleInterval_ == 0)
         iwSampleInterval_ = 1;
+    smInertUntil_.assign(sms_.size(), 0);
+    smCacheVersion_.assign(sms_.size(), 0);
 }
 
 void
@@ -55,6 +57,7 @@ Gpu::launch(const std::vector<const KernelDesc *> &descs)
 
     tbTargets_.assign(sms_.size(),
                       std::vector<int>(runs_.size(), 0));
+    dispatchDirty_ = true;
 }
 
 void
@@ -79,11 +82,15 @@ Gpu::onTbEvent(SmId sm, KernelId k, TbExit exit)
         ds.remainingInLaunch = d.gridTbs;
         ds.launches++;
     }
+    // A freed TB slot (or a requeued TB) can enable a dispatch or
+    // unblock a pending shrink decision.
+    dispatchDirty_ = true;
 }
 
-void
+bool
 Gpu::dispatchCycle()
 {
+    bool acted = false;
     int nk = numKernels();
     for (std::size_t s = 0; s < sms_.size(); ++s) {
         SmCore &sm = sms_[s];
@@ -93,6 +100,7 @@ Gpu::dispatchCycle()
             for (int k = 0; k < nk; ++k) {
                 if (sm.residentTbs(k) > tbTargets_[s][k]) {
                     sm.startPreemption(k, now_);
+                    acted = true;
                     break;
                 }
             }
@@ -117,19 +125,130 @@ Gpu::dispatchCycle()
             sm.dispatchTb(k, tbSeq_++, launch_pos, now_);
             dispatch_[k].remainingInLaunch--;
             dispatch_[k].liveTbs++;
+            acted = true;
             break;
         }
     }
+    return acted;
+}
+
+bool
+Gpu::dispatcherWouldAct() const
+{
+    // Read-only replay of dispatchCycle()'s two decisions. Must
+    // stay in lockstep with it: any condition the dispatcher acts
+    // on must be visible here.
+    int nk = numKernels();
+    for (std::size_t s = 0; s < sms_.size(); ++s) {
+        const SmCore &sm = sms_[s];
+        if (!sm.preemptionPending()) {
+            for (int k = 0; k < nk; ++k) {
+                if (sm.residentTbs(k) > tbTargets_[s][k])
+                    return true;
+            }
+        }
+        for (int k = 0; k < nk; ++k) {
+            if (dispatch_[k].remainingInLaunch <= 0)
+                continue;
+            if (sm.residentTbs(k) >= tbTargets_[s][k])
+                continue;
+            if (sm.canAccept(k))
+                return true;
+        }
+    }
+    return false;
+}
+
+bool
+Gpu::step(bool event_aware)
+{
+    bool sample_iw = (now_ % iwSampleInterval_) == 0;
+    bool active = false;
+    for (std::size_t s = 0; s < sms_.size(); ++s) {
+        SmCore &sm = sms_[s];
+        if (event_aware && now_ < smInertUntil_[s] &&
+            smCacheVersion_[s] == sm.mutVersion()) {
+            // Proven inert this cycle: batch-account instead of
+            // walking the SM pipeline. Sampling cycles go through
+            // skipCycles so the sampling inputs that live outside
+            // the SM (the interconnect store-throttle backlog) are
+            // evaluated at the sample cycle, exactly like the
+            // reference path; all other cycles defer to an O(1)
+            // counter the SM settles before any observation.
+            if (sample_iw)
+                sm.skipCycles(now_, 1, 1);
+            else
+                sm.deferInertCycle();
+            smSkipped_++;
+            continue;
+        }
+        Cycle bound = 0;
+        bool issued = sm.cycle(now_, sample_iw,
+                               event_aware ? &bound : nullptr);
+        active |= issued;
+        if (event_aware) {
+            // A no-issue cycle hands back the next-event bound for
+            // free; an issuing SM is hot and re-probes next cycle.
+            smInertUntil_[s] = issued ? 0 : bound;
+            smCacheVersion_[s] = sm.mutVersion();
+        }
+    }
+    if (dispatchDirty_) {
+        if (dispatchCycle())
+            active = true;
+        else
+            dispatchDirty_ = false;
+    }
+    now_++;
+    return active;
+}
+
+Cycle
+Gpu::nextEventAt() const
+{
+    Cycle next = cycleNever;
+    for (std::size_t s = 0; s < sms_.size(); ++s) {
+        // A version-valid inertia cache is itself a sound bound
+        // (a cached bound <= now_ conservatively means "may act
+        // now"), so an event-aware step keeps this probe free of
+        // per-SM replays; reference-driven Gpus never write the
+        // cache, so the version mismatches and the full probe
+        // runs.
+        Cycle t = (smCacheVersion_[s] == sms_[s].mutVersion())
+            ? smInertUntil_[s]
+            : sms_[s].nextEventAt(now_);
+        if (t <= now_)
+            return now_;
+        next = std::min(next, t);
+    }
+    if (dispatchDirty_ && dispatcherWouldAct())
+        return now_;
+    return next;
 }
 
 void
-Gpu::step()
+Gpu::skipTo(Cycle target)
 {
-    bool sample_iw = (now_ % iwSampleInterval_) == 0;
+    gqos_assert(target > now_);
+    // Idle-warp samples fall on cycles with c % interval == 0;
+    // count those in [now, target).
+    Cycle i = iwSampleInterval_;
+    Cycle samples = (target + i - 1) / i - (now_ + i - 1) / i;
     for (auto &sm : sms_)
-        sm.cycle(now_, sample_iw);
-    dispatchCycle();
-    now_++;
+        sm.skipCycles(now_, target - now_, samples);
+    now_ = target;
+}
+
+void
+Gpu::run(Cycle until)
+{
+    while (now_ < until) {
+        Cycle t = nextEventAt();
+        if (t > now_)
+            skipTo(std::min(t, until));
+        else
+            step();
+    }
 }
 
 void
@@ -138,6 +257,8 @@ Gpu::setTbTarget(SmId sm, KernelId k, int target)
     gqos_assert(sm >= 0 && sm < numSms());
     gqos_assert(k >= 0 && k < numKernels());
     gqos_assert(target >= 0);
+    if (tbTargets_[sm][k] != target)
+        dispatchDirty_ = true;
     tbTargets_[sm][k] = target;
 }
 
@@ -153,6 +274,7 @@ int
 Gpu::residentTbs(SmId sm, KernelId k) const
 {
     gqos_assert(sm >= 0 && sm < numSms());
+    gqos_assert(k >= 0 && k < numKernels());
     return sms_[sm].residentTbs(k);
 }
 

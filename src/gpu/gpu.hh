@@ -54,11 +54,54 @@ class Gpu
      */
     void launch(const std::vector<const KernelDesc *> &descs);
 
-    /** Advance the machine one core cycle. */
-    void step();
+    /**
+     * Advance the machine one core cycle.
+     *
+     * With @p event_aware set (the event engine's stepping mode),
+     * an SM whose cached nextEventAt() bound is still valid is
+     * batch-accounted with SmCore::skipCycles(now, 1, ...) instead
+     * of running its full pipeline; the bound is (re)computed after
+     * each no-issue cycle and invalidated by SmCore::mutVersion().
+     * Results are bit-identical to event_aware = false -- a cached
+     * SM is by construction in an inert cycle -- the flag only
+     * trades full per-SM pipeline walks for O(1) accounting.
+     *
+     * @return true if any SM issued or the TB dispatcher acted
+     *         (activity hint for the event engine; stepping is
+     *         always correct regardless of the return value)
+     */
+    bool step(bool event_aware = false);
 
     /** Current cycle (number of completed steps). */
     Cycle now() const { return now_; }
+
+    // ---- event-engine control points ----
+
+    /**
+     * Earliest cycle >= now() at which the machine might do real
+     * work: some SM has an event (SmCore::nextEventAt()) or the TB
+     * dispatcher would dispatch or preempt. Returns now() when the
+     * machine must step this cycle and cycleNever when it is fully
+     * inert (e.g. nothing resident and no TB targets to converge
+     * toward).
+     */
+    Cycle nextEventAt() const;
+
+    /**
+     * Fast-forward to cycle @p target (> now()), batch-accounting
+     * per-SM idle cycles and idle-warp samples. Only valid when
+     * nextEventAt() >= @p target; results are then bit-identical
+     * to calling step() target - now() times.
+     */
+    void skipTo(Cycle target);
+
+    /**
+     * Run the machine to cycle @p until, skipping inert spans.
+     * Equivalent to `while (now() < until) step()` for policy-free
+     * execution (tests, micro-benchmarks); the harness uses
+     * SimEngine, which interleaves policy control points.
+     */
+    void run(Cycle until);
 
     // ---- policy control surface ----
 
@@ -114,8 +157,13 @@ class Gpu
     /** Sum of @p k's per-SM TB targets. */
     int totalTbTarget(KernelId k) const;
 
+    /** Cycles of per-SM pipeline work elided by event-aware steps
+     *  (sum over SMs; one stepped cycle can contribute several). */
+    std::uint64_t smSkippedCycles() const { return smSkipped_; }
+
   private:
-    void dispatchCycle();
+    bool dispatchCycle();
+    bool dispatcherWouldAct() const;
     void onTbEvent(SmId sm, KernelId k, TbExit exit);
 
     GpuConfig cfg_;
@@ -127,6 +175,24 @@ class Gpu
     std::uint64_t tbSeq_ = 0;
     Cycle now_ = 0;
     Cycle iwSampleInterval_;
+    /**
+     * TB-dispatcher dirty flag: set by every state change that can
+     * enable a dispatch or preemption (launch, target move, TB
+     * completion/eviction), cleared after a dispatcher pass that
+     * did nothing. While clear, step() skips the dispatcher pass
+     * and nextEventAt() skips the would-act scan -- a no-op pass
+     * stays a no-op until one of those events re-arms the flag.
+     */
+    bool dispatchDirty_ = true;
+    /**
+     * Per-SM inertia cache for event-aware stepping: SM s is proven
+     * inert for every cycle < smInertUntil_[s] as long as its
+     * mutVersion() still equals smCacheVersion_[s]. A value <=
+     * now_ means "no cache".
+     */
+    std::vector<Cycle> smInertUntil_;
+    std::vector<std::uint64_t> smCacheVersion_;
+    std::uint64_t smSkipped_ = 0;
 };
 
 } // namespace gqos

@@ -48,8 +48,10 @@ writeCase(std::ostream &os, const ReportCase &c)
     os << "{\"key\":\"" << jsonEscape(c.key) << "\""
        << ",\"policy\":\"" << jsonEscape(c.policy) << "\""
        << ",\"config\":\"" << jsonEscape(c.config) << "\""
+       << ",\"engine\":\"" << jsonEscape(c.engine) << "\""
        << ",\"from_cache\":" << (c.fromCache ? "true" : "false")
        << ",\"wall_sec\":" << jsonNumber(c.wallSec)
+       << ",\"sim_cycles_per_sec\":" << jsonNumber(c.simCyclesPerSec)
        << ",\"instr_per_watt\":" << jsonNumber(c.instrPerWatt)
        << ",\"dram_per_kcycle\":" << jsonNumber(c.dramPerKcycle)
        << ",\"preemptions\":" << c.preemptions

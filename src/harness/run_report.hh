@@ -44,8 +44,11 @@ struct ReportCase
     std::string key;       //!< cache key ("policy|k0:g0|...")
     std::string policy;
     std::string config;
+    std::string engine;    //!< stepping engine ("event"/"reference")
     bool fromCache = false;
     double wallSec = 0.0;  //!< run() wall time (incl. baselines)
+    /** Simulated cycles per second (0 for cache hits). */
+    double simCyclesPerSec = 0.0;
     double instrPerWatt = 0.0;
     double dramPerKcycle = 0.0;
     std::uint64_t preemptions = 0;

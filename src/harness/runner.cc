@@ -185,44 +185,37 @@ Runner::simulate(const std::vector<std::string> &kernels,
     }
     pol.value()->onLaunch(gpu);
 
-    // Non-advancing simulations (a policy bug gating every warp
-    // forever) abort with a structured error instead of spinning:
-    // no instruction retired across a full epoch window while live
-    // warps exist.
-    StallDetector watchdog(cfg_.epochLength);
-    constexpr Cycle watchdogStride = 1024;
+    // The stepping engine drives the cycle loop; its stall
+    // watchdog aborts non-advancing simulations (a policy bug
+    // gating every warp forever) with a structured error instead
+    // of spinning: no instruction retired across a full epoch
+    // window while live warps exist.
+    SimEngine engine(opts_.engine, cfg_.epochLength);
 
     Cycle warmup = std::min(opts_.warmupCycles, opts_.cycles / 2);
     std::vector<std::uint64_t> instr_at_warmup(kernels.size(), 0);
-    for (Cycle c = 0; c < opts_.cycles; ++c) {
-        if (c == warmup) {
-            for (std::size_t i = 0; i < kernels.size(); ++i)
-                instr_at_warmup[i] =
-                    gpu.threadInstrs(static_cast<KernelId>(i));
-        }
-        pol.value()->onCycle(gpu);
-        gpu.step();
-        if (c % watchdogStride == 0) {
-            std::uint64_t instrs = 0;
-            bool any_live = false;
-            for (int k = 0; k < gpu.numKernels(); ++k) {
-                instrs += gpu.threadInstrs(
-                    static_cast<KernelId>(k));
-                any_live |= gpu.dispatchState(
-                    static_cast<KernelId>(k)).liveTbs > 0;
-            }
-            if (watchdog.observe(gpu.now(), instrs, any_live)) {
-                return Error::format(
-                    ErrorCode::Stalled,
-                    "case '%s' retired no instruction for %llu "
-                    "cycles (at cycle %llu) with live warps; "
-                    "aborting the case",
-                    caseKey(kernels, goal_frac, policy).c_str(),
-                    static_cast<unsigned long long>(
-                        watchdog.window()),
-                    static_cast<unsigned long long>(gpu.now()));
-            }
-        }
+    auto sim_t0 = std::chrono::steady_clock::now();
+    bool stalled = engine.runUntil(gpu, *pol.value(), warmup);
+    if (!stalled) {
+        for (std::size_t i = 0; i < kernels.size(); ++i)
+            instr_at_warmup[i] =
+                gpu.threadInstrs(static_cast<KernelId>(i));
+        stalled = engine.runUntil(gpu, *pol.value(), opts_.cycles);
+    }
+    double sim_wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - sim_t0).count();
+    lastSimCyclesPerSec_ = sim_wall > 0.0
+        ? static_cast<double>(gpu.now()) / sim_wall
+        : 0.0;
+    if (stalled) {
+        return Error::format(
+            ErrorCode::Stalled,
+            "case '%s' retired no instruction for %llu "
+            "cycles (at cycle %llu) with live warps; "
+            "aborting the case",
+            caseKey(kernels, goal_frac, policy).c_str(),
+            static_cast<unsigned long long>(engine.stallWindow()),
+            static_cast<unsigned long long>(gpu.now()));
     }
 
     pol.value()->onFinish(gpu);
@@ -243,8 +236,17 @@ Runner::simulate(const std::vector<std::string> &kernels,
     out.dramPerKcycle = 1000.0 *
         gpu.mem().totalDramAccesses() / std::max<Cycle>(1, gpu.now());
     simulated_++;
-    if (opts_.metrics)
+    if (opts_.metrics) {
         opts_.metrics->counter("harness.cases_simulated").inc();
+        opts_.metrics->counter("engine.stepped_cycles")
+            .inc(engine.stats().steppedCycles);
+        opts_.metrics->counter("engine.skipped_cycles")
+            .inc(engine.stats().skippedCycles);
+        opts_.metrics->counter("engine.control_points")
+            .inc(engine.stats().controlPoints);
+        opts_.metrics->counter("engine.sm_skipped_cycles")
+            .inc(gpu.smSkippedCycles());
+    }
     if (opts_.verbose) {
         gqos_inform("simulated %s [%d done]",
                     caseKey(kernels, goal_frac, policy).c_str(),
@@ -297,6 +299,9 @@ Runner::run(const std::vector<std::string> &kernels,
 
     std::string key = caseKey(kernels, goal_frac, policy);
     CachedCase c;
+    // Captured right after this case's own simulate(): the nested
+    // isolated-baseline runs below would overwrite the member.
+    double sim_cps = 0.0;
     bool from_cache = cache_ && cache_->lookup(key, c) &&
                       c.ipc.size() == kernels.size();
     if (!from_cache) {
@@ -305,6 +310,7 @@ Runner::run(const std::vector<std::string> &kernels,
         if (!sim.ok())
             return sim.error();
         c = std::move(sim).value();
+        sim_cps = lastSimCyclesPerSec_;
         if (cache_) {
             cache_->insert(key, c);
             if (opts_.traceSink && !opts_.tracePath.empty())
@@ -361,6 +367,8 @@ Runner::run(const std::vector<std::string> &kernels,
         rc.key = key;
         rc.policy = policy;
         rc.config = opts_.configName;
+        rc.engine = toString(opts_.engine);
+        rc.simCyclesPerSec = sim_cps;
         rc.fromCache = from_cache;
         rc.wallSec = std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t0).count();

@@ -29,6 +29,7 @@
 #include "arch/gpu_config.hh"
 #include "arch/types.hh"
 #include "common/result.hh"
+#include "engine/sim_engine.hh"
 #include "harness/result_cache.hh"
 
 namespace gqos
@@ -99,40 +100,6 @@ struct CaseResult
 };
 
 /**
- * Detects a simulation that stopped retiring instructions while
- * warps are still live. Feed samples of (cycle, total retired
- * instructions, any-live flag); observe() reports a stall once no
- * instruction retired across a full window while work existed the
- * whole time.
- */
-class StallDetector
-{
-  public:
-    explicit StallDetector(Cycle window) : window_(window) {}
-
-    /** Record a sample; true once the stall condition holds. */
-    bool
-    observe(Cycle now, std::uint64_t instrs, bool anyLive)
-    {
-        if (!primed_ || instrs != lastInstrs_ || !anyLive) {
-            primed_ = true;
-            lastInstrs_ = instrs;
-            lastAdvance_ = now;
-            return false;
-        }
-        return now - lastAdvance_ >= window_;
-    }
-
-    Cycle window() const { return window_; }
-
-  private:
-    Cycle window_;
-    Cycle lastAdvance_ = 0;
-    std::uint64_t lastInstrs_ = 0;
-    bool primed_ = false;
-};
-
-/**
  * Case runner with crash-safe on-disk memoization.
  */
 class Runner
@@ -155,6 +122,14 @@ class Runner
         bool verbose = false;
         /** Make partial context switches free (Section 4.8). */
         bool freePreemption = false;
+        /**
+         * Stepping engine (engine/sim_engine.hh). The default
+         * event engine fast-forwards provably inert spans; the
+         * reference engine executes every cycle. Both produce
+         * bit-identical results, so the result cache is shared
+         * between them by design.
+         */
+        EngineKind engine = EngineKind::Event;
 
         // -- telemetry (observers, owned by the caller; all three
         //    must outlive every Runner copied from these options) --
@@ -250,6 +225,12 @@ class Runner
     std::string cachePath_;
     std::shared_ptr<ResultCache> cache_;
     int simulated_ = 0;
+    /**
+     * Simulated cycles per wall-clock second of the most recent
+     * simulate() call (report plumbing; a Runner is single-
+     * threaded, see the class comment).
+     */
+    double lastSimCyclesPerSec_ = 0.0;
     /**
      * run() nesting depth: isolated-baseline runs recurse through
      * run(), and only depth-1 calls are report-worthy cases.

@@ -14,6 +14,7 @@
 #ifndef GQOS_MEM_INTERCONNECT_HH
 #define GQOS_MEM_INTERCONNECT_HH
 
+#include <cmath>
 #include <cstdint>
 
 #include "arch/gpu_config.hh"
@@ -72,6 +73,20 @@ class Interconnect
     backlog(double now) const
     {
         return nextFree_ > now ? nextFree_ - now : 0.0;
+    }
+
+    /**
+     * First integer cycle at which backlog() will have decayed to
+     * @p threshold or less, assuming no further injections. Used by
+     * the event engine to bound skips across a store-throttled span.
+     */
+    Cycle
+    unblockCycle(double threshold) const
+    {
+        double t = nextFree_ - threshold;
+        if (t <= 0.0)
+            return 0;
+        return static_cast<Cycle>(std::ceil(t));
     }
 
     /** One-way latency in cycles. */

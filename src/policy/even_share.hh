@@ -24,6 +24,14 @@ class EvenSharePolicy : public SharingPolicy
 
     void onLaunch(Gpu &gpu) override;
     void onCycle(Gpu &gpu) override { (void)gpu; }
+
+    /** Static policy: never takes a runtime action. */
+    Cycle
+    nextControlAt(const Gpu &, Cycle) const override
+    {
+        return cycleNever;
+    }
+
     std::string name() const override { return "even"; }
 };
 

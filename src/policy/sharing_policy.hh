@@ -5,13 +5,17 @@
  * A SharingPolicy owns all resource-management decisions of a
  * co-run: initial and runtime TB allocation (via the GPU's TB
  * targets), EWS quota gating, and any periodic control logic. The
- * harness drives the simulation as:
+ * harness drives the simulation through the stepping engine
+ * (engine/sim_engine.hh), which behaves as:
  *
  *     policy.onLaunch(gpu);
  *     loop { policy.onCycle(gpu); gpu.step(); }
  *
- * onCycle() runs before each step and must be cheap in the common
- * case; epoch-grained work triggers on epoch boundaries internally.
+ * onCycle() runs before each executed step and must be cheap in
+ * the common case; epoch-grained work triggers on epoch boundaries
+ * internally. The event engine additionally asks nextControlAt()
+ * when the machine is idle so it can fast-forward to the policy's
+ * next boundary instead of polling onCycle() every cycle.
  */
 
 #ifndef GQOS_POLICY_SHARING_POLICY_HH
@@ -43,6 +47,22 @@ class SharingPolicy
 
     /** Called every cycle before Gpu::step(). */
     virtual void onCycle(Gpu &gpu) = 0;
+
+    /**
+     * Earliest cycle >= @p now at which onCycle() might take an
+     * action, assuming the machine does no work before then (the
+     * event engine re-queries after every executed cycle, so
+     * machine-state-dependent conditions may be evaluated against
+     * the current -- frozen -- state). Returning a value <= @p now
+     * means "call onCycle() this cycle"; cycleNever declares the
+     * policy permanently idle. The conservative default disables
+     * skipping entirely, keeping un-ported policies exact.
+     */
+    virtual Cycle
+    nextControlAt(const Gpu &, Cycle now) const
+    {
+        return now;
+    }
 
     /**
      * Attach telemetry consumers (either may be null). Must be

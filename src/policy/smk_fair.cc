@@ -118,6 +118,27 @@ SmkFairPolicy::onCycle(Gpu &gpu)
     }
 }
 
+Cycle
+SmkFairPolicy::nextControlAt(const Gpu &gpu, Cycle now) const
+{
+    Cycle boundary = epochStart_ + epochLength_;
+    if (now >= boundary)
+        return now;
+    // The work-conserving refill in onCycle() fires while any SM
+    // sits fully drained with resident work; quota counters are
+    // frozen when the machine is idle, so checking once is exact.
+    for (int s = 0; s < gpu.numSms(); ++s) {
+        const SmCore &sm = gpu.sm(s);
+        if (!sm.allQuotasExhausted())
+            continue;
+        for (int k = 0; k < gpu.numKernels(); ++k) {
+            if (sm.residentTbs(k) > 0)
+                return now;
+        }
+    }
+    return boundary;
+}
+
 double
 SmkFairPolicy::progress(KernelId k) const
 {

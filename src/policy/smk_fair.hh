@@ -47,6 +47,8 @@ class SmkFairPolicy : public SharingPolicy
 
     void onLaunch(Gpu &gpu) override;
     void onCycle(Gpu &gpu) override;
+    Cycle nextControlAt(const Gpu &gpu,
+                        Cycle now) const override;
     std::string name() const override { return "smk-fair"; }
 
     /** Normalized progress of kernel @p k over the last epoch. */

@@ -42,6 +42,16 @@ class SpartPolicy : public SharingPolicy
 
     void onLaunch(Gpu &gpu) override;
     void onCycle(Gpu &gpu) override;
+
+    /** Purely time-driven: acts every adjustInterval epochs. */
+    Cycle
+    nextControlAt(const Gpu &, Cycle now) const override
+    {
+        Cycle due = epochStart_ + epochLength_ *
+            static_cast<Cycle>(opts_.adjustInterval);
+        return due <= now ? now : due;
+    }
+
     std::string name() const override { return "spart"; }
 
     /** Current owner kernel of each SM (tests/reports). */

@@ -349,6 +349,77 @@ QuotaController::qosQuotasExhausted(const SmCore &sm) const
 }
 
 bool
+QuotaController::elasticReady(const Gpu &gpu, Cycle now) const
+{
+    // Elastic restart: every QoS quota drained on every SM, and
+    // every (resident) non-QoS kernel has consumed at least its
+    // base epoch quota. Refill-granted extra quota does not
+    // postpone the restart.
+    if (opts_.scheme != QuotaScheme::Elastic || now == 0)
+        return false;
+    for (int s = 0; s < gpu.numSms(); ++s) {
+        if (!qosQuotasExhausted(gpu.sm(s)))
+            return false;
+    }
+    for (int k : nonQosIds_) {
+        if (gpu.totalResidentTbs(k) == 0)
+            continue;
+        std::uint64_t done = gpu.threadInstrs(k) -
+                             instrAtEpochStart_[k];
+        if (static_cast<double>(done) < epochTotalQuota_[k])
+            return false;
+    }
+    return true;
+}
+
+bool
+QuotaController::timeMuxReleasePending(const Gpu &gpu) const
+{
+    if (!opts_.timeMux)
+        return false;
+    for (int s = 0; s < gpu.numSms(); ++s) {
+        if (!released_[s] && qosQuotasExhausted(gpu.sm(s)))
+            return true;
+    }
+    return false;
+}
+
+bool
+QuotaController::refillPending(const Gpu &gpu) const
+{
+    if (nonQosIds_.empty())
+        return false;
+    for (int s = 0; s < gpu.numSms(); ++s) {
+        if (opts_.timeMux && !released_[s])
+            continue;
+        const SmCore &sm = gpu.sm(s);
+        if (!sm.allQuotasExhausted())
+            continue;
+        for (int j : nonQosIds_) {
+            if (sm.residentTbs(j) > 0)
+                return true;
+        }
+    }
+    return false;
+}
+
+Cycle
+QuotaController::nextControlAt(const Gpu &gpu, Cycle now) const
+{
+    Cycle boundary = epochStart_ + epochLength_;
+    if (now >= boundary)
+        return now;
+    // The mid-epoch conditions below mirror onCycle() exactly; if
+    // none fires now, none can fire while the machine is idle, so
+    // the next control point is the forced boundary.
+    if (elasticReady(gpu, now) || timeMuxReleasePending(gpu) ||
+        refillPending(gpu)) {
+        return now;
+    }
+    return boundary;
+}
+
+bool
 QuotaController::onCycle(Gpu &gpu)
 {
     Cycle now = gpu.now();
@@ -357,29 +428,11 @@ QuotaController::onCycle(Gpu &gpu)
     if (now - epochStart_ >= epochLength_) {
         beginEpoch(gpu, false);
         new_epoch = true;
-    } else if (opts_.scheme == QuotaScheme::Elastic && now > 0) {
-        // Elastic restart: every QoS quota drained on every SM, and
-        // every (resident) non-QoS kernel has consumed at least its
-        // base epoch quota. Refill-granted extra quota does not
-        // postpone the restart.
-        bool all = true;
-        for (int s = 0; s < gpu.numSms() && all; ++s)
-            all = qosQuotasExhausted(gpu.sm(s));
-        for (std::size_t j = 0; all && j < nonQosIds_.size(); ++j) {
-            int k = nonQosIds_[j];
-            if (gpu.totalResidentTbs(k) == 0)
-                continue;
-            std::uint64_t done = gpu.threadInstrs(k) -
-                                 instrAtEpochStart_[k];
-            if (static_cast<double>(done) < epochTotalQuota_[k])
-                all = false;
-        }
-        if (all) {
-            if (elasticRestartsCtr_)
-                elasticRestartsCtr_->inc();
-            beginEpoch(gpu, false);
-            new_epoch = true;
-        }
+    } else if (elasticReady(gpu, now)) {
+        if (elasticRestartsCtr_)
+            elasticRestartsCtr_->inc();
+        beginEpoch(gpu, false);
+        new_epoch = true;
     }
 
     // Rollover-Time: release stashed non-QoS quota per SM once its

@@ -122,6 +122,16 @@ class QuotaController
      */
     bool onCycle(Gpu &gpu);
 
+    /**
+     * Event-engine control point: @p now if any onCycle() condition
+     * (boundary, elastic restart, Rollover-Time release, mid-epoch
+     * refill) fires against the current machine state, else the
+     * next forced epoch boundary. Exact while the machine is idle:
+     * every mid-epoch condition depends only on quota counters and
+     * instruction counts, which are frozen across an inert span.
+     */
+    Cycle nextControlAt(const Gpu &gpu, Cycle now) const;
+
     // ---- bookkeeping read by the static allocator & reports ----
 
     /** Lifetime (run-so-far) IPC of kernel @p k. */
@@ -155,6 +165,9 @@ class QuotaController
     double historyAt(KernelId k, Cycle now) const;
     void distributeQuota(Gpu &gpu, KernelId k, double total_quota);
     bool qosQuotasExhausted(const SmCore &sm) const;
+    bool elasticReady(const Gpu &gpu, Cycle now) const;
+    bool timeMuxReleasePending(const Gpu &gpu) const;
+    bool refillPending(const Gpu &gpu) const;
     void emitEpochTrace(Gpu &gpu, bool final_partial);
 
     std::vector<QosSpec> specs_;

@@ -6,6 +6,7 @@
 #include "sm/sm_core.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 
@@ -58,6 +59,8 @@ SmCore::bindKernels(const std::vector<const KernelRun *> &runs)
 {
     gqos_assert(static_cast<int>(runs.size()) <= maxKernels);
     gqos_assert(totalResidentTbs() == 0);
+    settle();
+    mutVersion_++;
     runs_ = runs;
     for (auto &kc : kernels_)
         kc = KernelCtx();
@@ -95,6 +98,8 @@ SmCore::dispatchTb(KernelId k, std::uint64_t tb_seq,
 {
     if (!canAccept(k))
         return false;
+    settle();
+    mutVersion_++;
     const KernelRun &run = *runs_[k];
     const KernelDesc &d = run.desc();
     int warps_needed = d.warpsPerTb();
@@ -171,6 +176,8 @@ SmCore::startPreemption(KernelId k, Cycle now)
     }
     if (victim < 0)
         return false;
+    settle();
+    mutVersion_++;
 
     TbSlot &tb = tbs_[victim];
     tb.draining = true;
@@ -298,8 +305,11 @@ void
 SmCore::scheduleWake(int warp_slot, Cycle at)
 {
     std::uint32_t token = ++wakeToken_[warp_slot];
-    wakeRing_[at & (wakeRingSize_ - 1)].push_back(
+    std::size_t idx = at & (wakeRingSize_ - 1);
+    wakeRing_[idx].push_back(
         {static_cast<std::uint16_t>(warp_slot), token});
+    wakeBits_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    pendingWakes_++;
 }
 
 void
@@ -308,6 +318,8 @@ SmCore::processWakes(Cycle now)
     auto &bucket = wakeRing_[now & (wakeRingSize_ - 1)];
     if (bucket.empty())
         return;
+    pendingWakes_ -= static_cast<std::int64_t>(bucket.size());
+    gqos_assert(pendingWakes_ >= 0);
     // A wake scheduled more than one ring revolution ahead would
     // alias; scheduleWakeClamped() below prevents that.
     for (const WakeEntry &e : bucket) {
@@ -326,6 +338,11 @@ SmCore::processWakes(Cycle now)
         }
     }
     bucket.clear();
+    // Re-wakes above always land in a different bucket (0 < at - now
+    // < ring size), so clearing this bucket's occupancy bit last is
+    // safe.
+    std::size_t idx = now & (wakeRingSize_ - 1);
+    wakeBits_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
 }
 
 void
@@ -535,9 +552,52 @@ SmCore::issueWarp(int warp_slot, Cycle now)
     }
 }
 
-void
-SmCore::cycle(Cycle now, bool sample_iw)
+std::uint32_t
+SmCore::allowedKernelMask() const
 {
+    // Kernels eligible under EWS quota gating this cycle.
+    std::uint32_t allowed = 0;
+    int nk = static_cast<int>(runs_.size());
+    for (int k = 0; k < nk; ++k) {
+        if (!quotaGating_ || kernels_[k].quota > 0.0)
+            allowed |= 1u << k;
+    }
+    return allowed;
+}
+
+std::uint32_t
+SmCore::mshrOkKernelMask() const
+{
+    // Per-kernel MSHR cap: leave a few credits reachable for every
+    // co-resident kernel so memory-intensive sharers cannot starve
+    // the others' loads.
+    int nk = static_cast<int>(runs_.size());
+    int resident_kernels = 0;
+    for (int k = 0; k < nk; ++k) {
+        if (kernels_[k].residentTbs > 0)
+            resident_kernels++;
+    }
+    int mshr_cap = mshrMax_ -
+        mshrReserve * std::max(0, resident_kernels - 1);
+    std::uint32_t mshr_ok = 0;
+    for (int k = 0; k < nk; ++k) {
+        if (kernels_[k].mshrHeld < mshr_cap)
+            mshr_ok |= 1u << k;
+    }
+    return mshr_ok;
+}
+
+bool
+SmCore::storeThrottled(Cycle now) const
+{
+    return mem_->interconnect().backlog(
+        static_cast<double>(now)) > storeThrottleBacklog;
+}
+
+bool
+SmCore::cycle(Cycle now, bool sample_iw, Cycle *next_event)
+{
+    settle();
     stats_.cycles++;
     processWakes(now);
     if (!drains_.empty())
@@ -548,33 +608,20 @@ SmCore::cycle(Cycle now, bool sample_iw)
         mshrRelease_.pop();
     }
 
-    // Kernels eligible under EWS quota gating this cycle.
-    std::uint32_t allowed = 0;
     int nk = static_cast<int>(runs_.size());
-    int resident_kernels = 0;
-    for (int k = 0; k < nk; ++k) {
-        if (!quotaGating_ || kernels_[k].quota > 0.0)
-            allowed |= 1u << k;
-        if (kernels_[k].residentTbs > 0)
-            resident_kernels++;
-    }
-
-    // Per-kernel MSHR cap: leave a few credits reachable for every
-    // co-resident kernel so memory-intensive sharers cannot starve
-    // the others' loads.
-    int mshr_cap = mshrMax_ -
-        mshrReserve * std::max(0, resident_kernels - 1);
-    std::uint32_t mshr_ok = 0;
-    for (int k = 0; k < nk; ++k) {
-        if (kernels_[k].mshrHeld < mshr_cap)
-            mshr_ok |= 1u << k;
-    }
-
-    bool store_blocked = mem_->interconnect().backlog(
-        static_cast<double>(now)) > storeThrottleBacklog;
+    std::uint32_t allowed = allowedKernelMask();
+    std::uint32_t mshr_ok = mshrOkKernelMask();
+    bool store_blocked = storeThrottled(now);
 
     int lsu_used = 0;
     bool any_issue = false;
+    // Blocked-candidate facts for the free next-event bound below.
+    // Only meaningful when nothing issued (then lsu_used stayed 0
+    // for every scheduler, making the masking identical to the
+    // read-only replay in nextEventAt()).
+    bool blocked_load = false;
+    bool blocked_store = false;
+    bool pick_declined = false;
 
     int first = static_cast<int>(now % numScheds_);
     for (int i = 0; i < numScheds_; ++i) {
@@ -591,7 +638,8 @@ SmCore::cycle(Cycle now, bool sample_iw)
             if (!(mshr_ok & (1u << k)))
                 mshr_block |= sc.kernelMask[k];
         }
-        std::uint64_t cand = sc.ready & allow_mask;
+        std::uint64_t cand_pre = sc.ready & allow_mask;
+        std::uint64_t cand = cand_pre;
         if (lsu_used >= lsuPorts_) {
             cand &= ~(sc.loadMask | sc.storeMask);
         } else {
@@ -603,6 +651,15 @@ SmCore::cycle(Cycle now, bool sample_iw)
                 cand &= ~sc.storeMask;
         }
         if (!cand) {
+            if (next_event) {
+                // cand empty with candidates present means every
+                // one was a masked load (MSHRs) or store (icnt
+                // throttle): only those maskings can empty it.
+                if (cand_pre & sc.loadMask)
+                    blocked_load = true;
+                if (cand_pre & sc.storeMask)
+                    blocked_store = true;
+            }
             sc.lastIssued = -1;
             continue;
         }
@@ -614,6 +671,7 @@ SmCore::cycle(Cycle now, bool sample_iw)
             lane = pickLrr(sc, cand);
         }
         if (lane < 0) {
+            pick_declined = true;
             sc.lastIssued = -1;
             continue;
         }
@@ -630,6 +688,38 @@ SmCore::cycle(Cycle now, bool sample_iw)
 
     if (any_issue)
         stats_.activeCycles++;
+
+    if (!any_issue && next_event) {
+        // Same bound nextEventAt(now + 1) would derive, but from
+        // the arbitration facts this cycle already computed. A
+        // declined pick is the one case the replay cannot see, so
+        // it conservatively forces a step next cycle.
+        Cycle next = cycleNever;
+        if (pick_declined) {
+            next = now + 1;
+        } else {
+            // A release due next cycle forces a step even with no
+            // blocked load (nextEventAt's "already due" check at
+            // now + 1): the pop mutates the MSHR pool.
+            if (!mshrRelease_.empty() &&
+                (blocked_load ||
+                 mshrRelease_.top().first <= now + 1)) {
+                next = std::min(next, mshrRelease_.top().first);
+            } else if (blocked_load) {
+                next = now + 1; // empty queue: never over-skip
+            }
+            if (blocked_store) {
+                next = std::min(
+                    next, mem_->interconnect().unblockCycle(
+                              storeThrottleBacklog));
+            }
+        }
+        for (const Drain &d : drains_)
+            next = std::min(next, d.finishAt);
+        if (pendingWakes_ > 0)
+            next = std::min(next, nextWakeAfter(now));
+        *next_event = next;
+    }
 
     // Track the fraction of time each kernel spends quota-gated;
     // the static allocator uses it to estimate a throttled kernel's
@@ -677,6 +767,189 @@ SmCore::cycle(Cycle now, bool sample_iw)
         for (int k = 0; k < nk; ++k)
             kernels_[k].stats.iwSamples++;
     }
+    return any_issue;
+}
+
+// ---------------------------------------------------------------
+// Event-engine control points
+// ---------------------------------------------------------------
+
+/**
+ * First nonempty wake bucket strictly after @p now, or cycleNever.
+ * Word-at-a-time scan over the occupancy bitmap; the wrap
+ * iteration (i == nwords) re-visits the start word's low bits,
+ * which map to the far end of the ring revolution.
+ */
+Cycle
+SmCore::nextWakeAfter(Cycle now) const
+{
+    constexpr int nwords = wakeRingSize_ / 64;
+    const int start =
+        static_cast<int>((now + 1) & (wakeRingSize_ - 1));
+    int wi = start >> 6;
+    std::uint64_t word =
+        wakeBits_[wi] & (~std::uint64_t{0} << (start & 63));
+    for (int i = 0; i <= nwords; ++i) {
+        if (i == nwords)
+            word = wakeBits_[start >> 6] &
+                   ~(~std::uint64_t{0} << (start & 63));
+        if (word) {
+            int idx = (wi << 6) + std::countr_zero(word);
+            return now + 1 +
+                   static_cast<Cycle>(
+                       (idx - start) & (wakeRingSize_ - 1));
+        }
+        wi = (wi + 1) & (nwords - 1);
+        word = wakeBits_[wi];
+    }
+    return cycleNever;
+}
+
+Cycle
+SmCore::nextEventAt(Cycle now) const
+{
+    // Anything already due forces a real cycle.
+    if (!mshrRelease_.empty() && mshrRelease_.top().first <= now)
+        return now;
+    Cycle next = cycleNever;
+    for (const Drain &d : drains_) {
+        if (d.finishAt <= now)
+            return now;
+        next = std::min(next, d.finishAt);
+    }
+    if (pendingWakes_ > 0 &&
+        !wakeRing_[now & (wakeRingSize_ - 1)].empty())
+        return now;
+
+    // Replay the issue arbitration read-only: if any scheduler has
+    // an issuable candidate the SM must step. The LSU port is free
+    // (nothing issued yet), so only MSHR credits and the store
+    // throttle can block a ready memory warp.
+    int nk = static_cast<int>(runs_.size());
+    std::uint32_t allowed = allowedKernelMask();
+    std::uint32_t mshr_ok = mshrOkKernelMask();
+    bool store_blocked = storeThrottled(now);
+    bool load_blocked = false;
+    bool store_waiting = false;
+    for (int s = 0; s < numScheds_; ++s) {
+        const SchedulerState &sc = scheds_[s];
+        std::uint64_t allow_mask = 0;
+        std::uint64_t mshr_block = 0;
+        for (int k = 0; k < nk; ++k) {
+            if (allowed & (1u << k))
+                allow_mask |= sc.kernelMask[k];
+            if (!(mshr_ok & (1u << k)))
+                mshr_block |= sc.kernelMask[k];
+        }
+        std::uint64_t cand = sc.ready & allow_mask;
+        if (!cand)
+            continue;
+        std::uint64_t load_cand = cand & sc.loadMask;
+        std::uint64_t store_cand = cand & sc.storeMask;
+        std::uint64_t issuable = cand & ~(sc.loadMask | sc.storeMask);
+        if (mshrFree_ > 0)
+            issuable |= load_cand & ~mshr_block;
+        if (!store_blocked)
+            issuable |= store_cand;
+        if (issuable)
+            return now;
+        if (load_cand)
+            load_blocked = true;
+        if (store_cand)
+            store_waiting = true;
+    }
+
+    // Every ready warp is blocked; the block lifts at an MSHR
+    // release or once the icnt backlog decays below the store
+    // threshold. Both are also sampling inputs (blocked_cls), so
+    // the skip must stop exactly there.
+    if (load_blocked) {
+        if (mshrRelease_.empty())
+            return now; // unreachable, but never over-skip
+        next = std::min(next, mshrRelease_.top().first);
+    }
+    if (store_waiting) {
+        next = std::min(next, mem_->interconnect().unblockCycle(
+                                  storeThrottleBacklog));
+    }
+
+    // Never skip across a nonempty wake bucket: a bucket holds
+    // entries for exactly one absolute cycle less than one ring
+    // revolution ahead, so the first nonempty bucket in ring order
+    // starting at now + 1 is the next wake (stale-token entries
+    // only make this conservative).
+    if (pendingWakes_ > 0)
+        next = std::min(next, nextWakeAfter(now));
+    return next;
+}
+
+void
+SmCore::applyInertSpan(Cycle span)
+{
+    stats_.cycles += span;
+    epochCycles_ += span;
+    // The reference loop resets every scheduler's greedy hint on a
+    // no-candidate cycle; every skipped cycle is one.
+    for (int s = 0; s < numScheds_; ++s)
+        scheds_[s].lastIssued = -1;
+
+    if (quotaGating_) {
+        int nk = static_cast<int>(runs_.size());
+        std::uint32_t allowed = allowedKernelMask();
+        for (int k = 0; k < nk; ++k) {
+            if (!(allowed & (1u << k)) &&
+                kernels_[k].residentTbs > 0) {
+                kernels_[k].stats.gatedCycles += span;
+            }
+        }
+    }
+}
+
+void
+SmCore::settleDeferred()
+{
+    Cycle span = deferredInert_;
+    deferredInert_ = 0;
+    applyInertSpan(span);
+}
+
+void
+SmCore::skipCycles(Cycle now, Cycle span, Cycle samples)
+{
+    gqos_assert(span >= 1);
+    settle();
+    applyInertSpan(span);
+
+    if (samples == 0)
+        return;
+    int nk = static_cast<int>(runs_.size());
+    std::uint32_t allowed = allowedKernelMask();
+    // Idle-warp samples: every sampling input (ready/load/store
+    // masks, quota gating, MSHR credits, store throttle) is frozen
+    // across an inert span -- nextEventAt() stops a skip at the
+    // first cycle where any of them could change -- so each sample
+    // in the span contributes the same value. The LSU is never full
+    // on a no-issue cycle.
+    bool store_blocked = storeThrottled(now);
+    for (int s = 0; s < numScheds_; ++s) {
+        const SchedulerState &sc = scheds_[s];
+        std::uint64_t blocked_cls = 0;
+        if (mshrFree_ <= 0)
+            blocked_cls |= sc.loadMask;
+        if (store_blocked)
+            blocked_cls |= sc.storeMask;
+        for (int k = 0; k < nk; ++k) {
+            std::uint64_t ready_k = sc.ready & sc.kernelMask[k];
+            std::uint64_t idle = (allowed & (1u << k))
+                ? ready_k & ~blocked_cls
+                : ready_k;
+            kernels_[k].stats.iwSampleSum +=
+                static_cast<std::uint64_t>(popCount(idle)) * samples;
+        }
+    }
+    for (int k = 0; k < nk; ++k)
+        kernels_[k].stats.iwSamples +=
+            static_cast<std::uint32_t>(samples);
 }
 
 // ---------------------------------------------------------------
@@ -684,18 +957,30 @@ SmCore::cycle(Cycle now, bool sample_iw)
 // ---------------------------------------------------------------
 
 void
+SmCore::setQuotaGating(bool on)
+{
+    settle();
+    quotaGating_ = on;
+    mutVersion_++;
+}
+
+void
 SmCore::setQuota(KernelId k, double q)
 {
     gqos_assert(k >= 0 && k < maxKernels);
+    settle();
     kernels_[k].quota = q;
+    mutVersion_++;
 }
 
 void
 SmCore::addQuota(KernelId k, double q)
 {
     gqos_assert(k >= 0 && k < maxKernels);
+    settle();
     kernels_[k].quota += q;
     kernels_[k].stats.quotaRefills++;
+    mutVersion_++;
 }
 
 double
@@ -743,6 +1028,7 @@ const SmKernelStats &
 SmCore::kernelStats(KernelId k) const
 {
     gqos_assert(k >= 0 && k < maxKernels);
+    settle();
     return kernels_[k].stats;
 }
 
@@ -760,6 +1046,7 @@ double
 SmCore::gatedFraction(KernelId k) const
 {
     gqos_assert(k >= 0 && k < maxKernels);
+    settle();
     if (epochCycles_ == 0)
         return 0.0;
     return static_cast<double>(kernels_[k].stats.gatedCycles) /
@@ -769,6 +1056,7 @@ SmCore::gatedFraction(KernelId k) const
 void
 SmCore::resetIwSamples()
 {
+    settle();
     for (auto &kc : kernels_) {
         kc.stats.iwSampleSum = 0;
         kc.stats.iwSamples = 0;

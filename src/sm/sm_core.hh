@@ -117,13 +117,70 @@ class SmCore
     /**
      * Advance one core cycle.
      * @param sample_iw record an idle-warp sample this cycle
+     * @param next_event when non-null and no instruction issued,
+     *        receives the same bound nextEventAt(now + 1) would
+     *        compute -- for free, from the arbitration state this
+     *        cycle already derived. Untouched when the SM issued.
+     * @return true if any scheduler issued an instruction
      */
-    void cycle(Cycle now, bool sample_iw);
+    bool cycle(Cycle now, bool sample_iw,
+               Cycle *next_event = nullptr);
+
+    // ---- event-engine control points ----
+
+    /**
+     * Earliest cycle >= @p now at which this SM might do real work:
+     * issue an instruction, process a wake/drain/MSHR release, or
+     * change any idle-warp sampling input. Returning @p now means
+     * "step me this cycle"; cycleNever means the SM is fully inert
+     * until external input (a dispatch or a quota change) arrives.
+     *
+     * The contract backing the event engine's bit-identity claim:
+     * if nextEventAt(now) == X > now, then running cycle() for
+     * every cycle in [now, X) would change nothing except the
+     * pure-function-of-time counters that skipCycles() batch-applies
+     * (cycles, epochCycles_, gated cycles, idle-warp samples, and
+     * the schedulers' greedy hints, which a no-candidate cycle
+     * resets to -1 anyway).
+     */
+    Cycle nextEventAt(Cycle now) const;
+
+    /**
+     * Batch-account @p span cycles starting at @p now that
+     * nextEventAt() proved inert, including @p samples idle-warp
+     * sampling points falling inside the span. Must only be called
+     * when nextEventAt(now) >= now + span.
+     */
+    void skipCycles(Cycle now, Cycle span, Cycle samples);
+
+    /**
+     * O(1) deferred variant of skipCycles(now, 1, 0): note one
+     * proven-inert, non-sampling cycle without touching any
+     * counters yet. The owed accounting is settled lazily -- every
+     * statistics reader and every external mutator settles first,
+     * so no observer ever sees a stale view, and the quota-gating
+     * mask is provably unchanged between deferral and settlement
+     * (any mask change goes through a settling mutator).
+     */
+    void deferInertCycle() { deferredInert_++; }
+
+    /**
+     * External-mutation version, for the event engine's per-SM
+     * inertia cache (Gpu::step(event_aware)). Bumped by every
+     * mutation arriving from outside cycle() that can change this
+     * SM's inertness: TB dispatch, preemption start, quota updates
+     * and gating toggles. A nextEventAt() bound computed at version
+     * V stays valid while mutVersion() == V (internal evolution --
+     * wakes, drains, MSHR releases -- is exactly what the bound
+     * accounts for, and cross-SM interconnect traffic can only
+     * delay a store-throttle unblock, never advance an event).
+     */
+    std::uint64_t mutVersion() const { return mutVersion_; }
 
     // ---- EWS quota interface ----
 
     /** Enable/disable quota gating (off = plain GTO sharing). */
-    void setQuotaGating(bool on) { quotaGating_ = on; }
+    void setQuotaGating(bool on);
     bool quotaGating() const { return quotaGating_; }
 
     void setQuota(KernelId k, double q);
@@ -148,7 +205,12 @@ class SmCore
     // ---- statistics ----
 
     const SmKernelStats &kernelStats(KernelId k) const;
-    const SmStats &stats() const { return stats_; }
+    const SmStats &
+    stats() const
+    {
+        settle();
+        return stats_;
+    }
 
     /** Average idle warps of @p k over samples since last reset. */
     double iwAverage(KernelId k) const;
@@ -202,7 +264,25 @@ class SmCore
         return lane * numScheds_ + sched;
     }
 
+    /** Apply the counter side of an inert span (no samples). */
+    void applyInertSpan(Cycle span);
+    void settleDeferred();
+    /**
+     * Settle any deferred inert cycles. Logically const: it only
+     * materializes accounting the SM already owes.
+     */
+    void
+    settle() const
+    {
+        if (deferredInert_ > 0)
+            const_cast<SmCore *>(this)->settleDeferred();
+    }
+
     void rebuildAgeOrder(int sched);
+    Cycle nextWakeAfter(Cycle now) const;
+    std::uint32_t allowedKernelMask() const;
+    std::uint32_t mshrOkKernelMask() const;
+    bool storeThrottled(Cycle now) const;
     void scheduleWake(int warp_slot, Cycle at);
     void processWakes(Cycle now);
     void processDrains(Cycle now);
@@ -248,6 +328,18 @@ class SmCore
     // wake machinery
     std::vector<std::vector<WakeEntry>> wakeRing_;
     std::vector<std::uint32_t> wakeToken_;
+    /**
+     * Entries currently sitting in the ring (including stale ones
+     * whose token no longer matches). Lets nextEventAt() skip the
+     * ring scan entirely on a wake-free SM.
+     */
+    std::int64_t pendingWakes_ = 0;
+    /**
+     * Occupancy bitmap over the wake ring: bit i set iff
+     * wakeRing_[i] is nonempty. Turns nextEventAt()'s
+     * next-nonempty-bucket scan into a word-at-a-time search.
+     */
+    std::array<std::uint64_t, wakeRingSize_ / 64> wakeBits_{};
 
     // MSHR release queue: (completion cycle, owning kernel). When
     // kernels share an SM, each kernel's in-flight misses are capped
@@ -262,6 +354,8 @@ class SmCore
     std::vector<Drain> drains_;
     bool quotaGating_ = false;
     Cycle epochCycles_ = 0; //!< cycles since last sample reset
+    std::uint64_t mutVersion_ = 0; //!< see mutVersion()
+    Cycle deferredInert_ = 0; //!< see deferInertCycle()
 
     SmStats stats_;
     TbEventFn tbEvent_;
