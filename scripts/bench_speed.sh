@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 #
 # Engine throughput benchmark: measures simulated cycles per second
-# under the event and reference stepping engines and writes
-# BENCH_speed.json at the repo root. The headline number is the
-# memory-bound speedup (event over reference), which the event
-# engine must keep >= 1.3x.
+# under the event and reference stepping engines and appends one
+# entry to the history array in BENCH_speed.json at the repo root
+# (one entry per run, keyed by commit — the per-PR speed record).
+# The headline number is the memory-bound speedup (event over
+# reference), which the event engine must keep >= 1.3x.
 #
 # Methodology: wall-clock on a loaded single-core box is noisy, so
 # bench_micro runs with 8 repetitions under random interleaving and
@@ -42,12 +43,14 @@ flags="--cycles 20000 --warmup 4000 --pairs 2 --jobs 1"
     --cache "$scratch/ref" --stats-json "$scratch/ref.json" \
     > /dev/null 2>&1
 
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
 python3 - "$scratch/micro.json" "$scratch/ev.json" \
-    "$scratch/ref.json" "$out" <<'EOF'
+    "$scratch/ref.json" "$out" "$commit" <<'EOF'
 import json
 import sys
 
-micro_path, ev_path, ref_path, out_path = sys.argv[1:5]
+micro_path, ev_path, ref_path, out_path, commit = sys.argv[1:6]
 
 with open(micro_path) as f:
     micro = json.load(f)
@@ -73,7 +76,8 @@ def harness(path):
     return sum(vals) / len(vals) if vals else 0.0
 
 
-report = {
+entry = {
+    "commit": commit,
     "source": "bench_micro BM_Engine, medians of 8 interleaved "
               "repetitions",
     "cycles_per_sec": med,
@@ -87,11 +91,27 @@ report = {
         "reference_sim_cycles_per_sec": harness(ref_path),
     },
 }
+
+# BENCH_speed.json holds the whole history, one entry per run. A
+# pre-history file (a single object) is absorbed as the first entry.
+history = []
+try:
+    with open(out_path) as f:
+        old = json.load(f)
+    if isinstance(old, dict) and "history" in old:
+        history = old["history"]
+    elif isinstance(old, dict):
+        old.setdefault("commit", "pre-history")
+        history = [old]
+except (OSError, ValueError):
+    pass
+history.append(entry)
 with open(out_path, "w") as f:
-    json.dump(report, f, indent=2)
+    json.dump({"history": history}, f, indent=2)
     f.write("\n")
-print(json.dumps(report, indent=2))
-mem = report["speedup"]["memory_bound"]
+print(json.dumps(entry, indent=2))
+print(f"history: {len(history)} entries")
+mem = entry["speedup"]["memory_bound"]
 assert mem >= 1.3, f"memory-bound speedup {mem:.3f}x < 1.3x"
 print(f"OK: memory-bound speedup {mem:.3f}x >= 1.3x")
 EOF

@@ -6,10 +6,15 @@
 # executor: a small bench_fig6 sweep must print byte-identical
 # stdout at --jobs 1 and --jobs 4, cold and warm cache (the TSan
 # binary runs the same sweep to catch races in the executor and
-# the shared result cache). The default preset additionally runs
-# the engine differential smoke: every simulating figure bench
-# must print byte-identical stdout (and byte-identical --trace
-# JSONL) under --engine event and --engine reference.
+# the shared result cache). Every preset also runs the serving
+# smoke: a short Poisson arrival trace through bench_serving must
+# print byte-identical stdout and trace JSONL across two runs and
+# across --jobs 1 vs 4, with and without admission-path fault
+# injection, and its --stats-json accounting must conserve every
+# arrival. The default preset additionally runs the engine
+# differential smoke: every simulating figure bench must print
+# byte-identical stdout (and byte-identical --trace JSONL) under
+# --engine event and --engine reference.
 #
 #   scripts/check.sh            # all four presets + smokes
 #   scripts/check.sh default    # just the fast one
@@ -120,6 +125,67 @@ EOF
     fi
 }
 
+serving_smoke() {
+    local preset="$1"
+    local bin
+    bin="$(builddir_for "$preset")/bench/bench_serving"
+    # Short Poisson trace at three load points, small enough for the
+    # sanitizer builds: ~60 launches per point.
+    local flags="--launches 60 --loads 1.0,2.0,4.0 --rate 0.08 --quiet"
+    local scratch
+    scratch="$(mktemp -d)"
+    trap 'rm -rf "$scratch"' RETURN
+
+    echo "==> [$preset] serving smoke (rerun + jobs 1 vs 4, byte-identical)"
+    # shellcheck disable=SC2086 # word-splitting of $flags is wanted
+    "$bin" $flags --jobs 1 --trace "$scratch/a.jsonl" \
+        --stats-json "$scratch/a.stats" > "$scratch/a.out" 2>/dev/null
+    # shellcheck disable=SC2086
+    "$bin" $flags --jobs 1 --trace "$scratch/b.jsonl" \
+        > "$scratch/b.out" 2>/dev/null
+    # shellcheck disable=SC2086
+    "$bin" $flags --jobs 4 --trace "$scratch/c.jsonl" \
+        > "$scratch/c.out" 2>/dev/null
+    cmp "$scratch/a.out" "$scratch/b.out"
+    cmp "$scratch/a.out" "$scratch/c.out"
+    cmp "$scratch/a.jsonl" "$scratch/b.jsonl"
+    cmp "$scratch/a.jsonl" "$scratch/c.jsonl"
+
+    # Admission-path fault injection: the overloaded server must
+    # degrade deterministically, at any job count, never wedge.
+    # shellcheck disable=SC2086
+    GQOS_FAULT="queue_overflow:0.1,admission_project:0.2" \
+        GQOS_FAULT_SEED=7 \
+        "$bin" $flags --jobs 1 > "$scratch/f1.out" 2>/dev/null
+    # shellcheck disable=SC2086
+    GQOS_FAULT="queue_overflow:0.1,admission_project:0.2" \
+        GQOS_FAULT_SEED=7 \
+        "$bin" $flags --jobs 4 > "$scratch/f4.out" 2>/dev/null
+    cmp "$scratch/f1.out" "$scratch/f4.out"
+
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$scratch/a.stats" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    rep = json.load(f)
+serving = rep.get("serving", [])
+assert len(serving) == 3, f"expected 3 load points, got {len(serving)}"
+for point in serving:
+    for t in point["tenants"]:
+        rejected = t["rejected"]
+        assert t["arrivals"] == t["admitted"] + rejected, t
+        assert t["admitted"] == (t["completed"] + t["abandoned"] +
+                                 t["dropped_at_shutdown"]), t
+    assert not point["engine_stalled"], point["label"]
+    assert not point["tenant_stalled"], point["label"]
+print("serving smoke: %d load points, accounting conserved"
+      % len(serving))
+EOF
+    else
+        echo "serving smoke: python3 not found; skipping JSON validation"
+    fi
+}
+
 engine_smoke() {
     local preset="$1"
     local bdir
@@ -167,6 +233,7 @@ for preset in "${presets[@]}"; do
     echo "==> [$preset] test"
     ctest --preset "$preset"
     sweep_smoke "$preset"
+    serving_smoke "$preset"
     # The engine differential smoke simulates 11 benches twice; run
     # it once, on the fast Release binary.
     if [ "$preset" = default ]; then

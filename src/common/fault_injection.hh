@@ -5,8 +5,9 @@
  * A process-wide FaultInjector decides, per named *site*, whether an
  * operation should synthetically fail. Sites are cheap string tags
  * compiled into the code (e.g. "cache_write", "cache_read",
- * "config_parse", "quota_account"); a site that is not configured
- * never fires and costs one branch.
+ * "config_parse", "quota_account"; the serving stack adds
+ * "arrival_parse", "admission_project" and "queue_overflow"); a
+ * site that is not configured never fires and costs one branch.
  *
  * Configuration comes from the GQOS_FAULT environment variable
  * ("site:probability[,site:probability...]", e.g.

@@ -76,11 +76,19 @@ Gpu::onTbEvent(SmId sm, KernelId k, TbExit exit)
         ds.remainingInLaunch++;
     }
     if (ds.remainingInLaunch == 0 && ds.liveTbs == 0) {
-        // Grid finished: immediately relaunch (the evaluation
-        // re-executes kernels to fill the measurement window).
-        const KernelDesc &d = runs_[k].desc();
-        ds.remainingInLaunch = d.gridTbs;
-        ds.launches++;
+        if (ds.manualLaunch) {
+            // Serving mode: the grid is a request; record its exact
+            // completion cycle and go idle until the next
+            // startGrid().
+            ds.gridsCompleted++;
+            ds.lastGridCompletedAt = now_;
+        } else {
+            // Grid finished: immediately relaunch (the evaluation
+            // re-executes kernels to fill the measurement window).
+            const KernelDesc &d = runs_[k].desc();
+            ds.remainingInLaunch = d.gridTbs;
+            ds.launches++;
+        }
     }
     // A freed TB slot (or a requeued TB) can enable a dispatch or
     // unblock a pending shrink decision.
@@ -285,6 +293,52 @@ Gpu::totalResidentTbs(KernelId k) const
     for (const auto &sm : sms_)
         n += sm.residentTbs(k);
     return n;
+}
+
+void
+Gpu::setManualLaunch(KernelId k)
+{
+    gqos_assert(k >= 0 && k < numKernels());
+    KernelDispatchState &ds = dispatch_[k];
+    gqos_assert(ds.liveTbs == 0);
+    ds.manualLaunch = true;
+    ds.remainingInLaunch = 0;
+    ds.launches = 0;
+    dispatchDirty_ = true;
+}
+
+void
+Gpu::startGrid(KernelId k)
+{
+    gqos_assert(k >= 0 && k < numKernels());
+    KernelDispatchState &ds = dispatch_[k];
+    gqos_assert(ds.manualLaunch);
+    gqos_assert(ds.remainingInLaunch == 0 && ds.liveTbs == 0);
+    ds.remainingInLaunch = runs_[k].desc().gridTbs;
+    ds.launches++;
+    dispatchDirty_ = true;
+}
+
+bool
+Gpu::gridActive(KernelId k) const
+{
+    gqos_assert(k >= 0 && k < numKernels());
+    const KernelDispatchState &ds = dispatch_[k];
+    return ds.remainingInLaunch > 0 || ds.liveTbs > 0;
+}
+
+std::uint64_t
+Gpu::gridsCompleted(KernelId k) const
+{
+    gqos_assert(k >= 0 && k < numKernels());
+    return dispatch_[k].gridsCompleted;
+}
+
+Cycle
+Gpu::lastGridCompletedAt(KernelId k) const
+{
+    gqos_assert(k >= 0 && k < numKernels());
+    return dispatch_[k].lastGridCompletedAt;
 }
 
 void

@@ -36,6 +36,16 @@ struct KernelDispatchState
     std::uint64_t launches = 0;
     std::uint64_t completedTbs = 0;
     std::uint64_t preemptedTbs = 0;
+    /**
+     * Launch control (serving mode): when set, a finished grid does
+     * NOT relaunch automatically; the owner starts the next grid
+     * explicitly with Gpu::startGrid(). The batch harness leaves
+     * this off and keeps the paper's relaunch-until-window-ends
+     * behaviour.
+     */
+    bool manualLaunch = false;
+    std::uint64_t gridsCompleted = 0;  //!< finished grids (manual)
+    Cycle lastGridCompletedAt = 0;     //!< cycle of the last finish
 };
 
 /**
@@ -116,6 +126,37 @@ class Gpu
 
     /** Enable/disable EWS quota gating on every SM. */
     void setQuotaGatingAll(bool on);
+
+    // ---- launch control (serving mode) ----
+
+    /**
+     * Put kernel @p k under manual launch control: the pending grid
+     * is cancelled (nothing of it may have been dispatched yet) and
+     * finished grids stop relaunching automatically. Call right
+     * after launch(), before the first cycle; the serving driver
+     * then feeds work in with startGrid() as requests are admitted.
+     */
+    void setManualLaunch(KernelId k);
+
+    /**
+     * Begin a new grid of kernel @p k (manual-launch kernels only;
+     * the previous grid must have fully completed). The TB
+     * dispatcher starts placing its TBs on the next step().
+     */
+    void startGrid(KernelId k);
+
+    /** TBs of @p k's current grid still dispatched or resident. */
+    bool gridActive(KernelId k) const;
+
+    /** Grids of @p k fully completed (manual-launch mode). */
+    std::uint64_t gridsCompleted(KernelId k) const;
+
+    /**
+     * Cycle at which @p k's most recent grid completed (valid once
+     * gridsCompleted(k) > 0). Exact even when the caller only polls
+     * on a coarse control tick.
+     */
+    Cycle lastGridCompletedAt(KernelId k) const;
 
     // ---- component access ----
 

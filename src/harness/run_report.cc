@@ -77,6 +77,48 @@ writeSweep(std::ostream &os, const ReportSweep &s)
        << ",\"faults_recovered\":" << s.faultsRecovered << "}";
 }
 
+void
+writeServingTenant(std::ostream &os, const ReportServingTenant &t)
+{
+    os << "{\"name\":\"" << jsonEscape(t.name) << "\""
+       << ",\"class\":\"" << jsonEscape(t.qosClass) << "\""
+       << ",\"arrivals\":" << t.arrivals
+       << ",\"admitted\":" << t.admitted
+       << ",\"completed\":" << t.completed
+       << ",\"slo_met\":" << t.sloMet
+       << ",\"rejected\":" << t.rejected
+       << ",\"abandoned\":" << t.abandoned
+       << ",\"dropped_at_shutdown\":" << t.droppedAtShutdown
+       << ",\"max_queue_depth\":" << t.maxQueueDepth
+       << ",\"p50_latency\":" << t.p50Latency
+       << ",\"p99_latency\":" << t.p99Latency
+       << ",\"slo_attainment\":" << jsonNumber(t.sloAttainment)
+       << ",\"goodput\":" << jsonNumber(t.goodput)
+       << ",\"stalled\":" << (t.stalled ? "true" : "false") << "}";
+}
+
+void
+writeServing(std::ostream &os, const ReportServing &s)
+{
+    os << "{\"label\":\"" << jsonEscape(s.label) << "\""
+       << ",\"policy\":\"" << jsonEscape(s.policy) << "\""
+       << ",\"end_cycle\":" << s.endCycle
+       << ",\"final_level\":" << s.finalLevel
+       << ",\"level_changes\":" << s.levelChanges
+       << ",\"drained\":" << (s.drained ? "true" : "false")
+       << ",\"engine_stalled\":"
+       << (s.engineStalled ? "true" : "false")
+       << ",\"tenant_stalled\":"
+       << (s.anyTenantStalled ? "true" : "false")
+       << ",\"tenants\":[";
+    for (std::size_t i = 0; i < s.tenants.size(); ++i) {
+        if (i)
+            os << ",";
+        writeServingTenant(os, s.tenants[i]);
+    }
+    os << "]}";
+}
+
 } // anonymous namespace
 
 void
@@ -93,6 +135,13 @@ RunReport::addSweep(ReportSweep s)
     sweeps_.push_back(std::move(s));
 }
 
+void
+RunReport::addServing(ReportServing s)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    serving_.push_back(std::move(s));
+}
+
 std::size_t
 RunReport::caseCount() const
 {
@@ -106,10 +155,12 @@ RunReport::write(std::ostream &os,
 {
     std::vector<ReportCase> cases;
     std::vector<ReportSweep> sweeps;
+    std::vector<ReportServing> serving;
     {
         std::lock_guard<std::mutex> guard(mutex_);
         cases = cases_;
         sweeps = sweeps_;
+        serving = serving_;
     }
     // Deterministic output under parallel sweeps: order by case
     // identity, not by worker completion time.
@@ -131,6 +182,19 @@ RunReport::write(std::ostream &os,
         if (i)
             os << ",";
         writeSweep(os, sweeps[i]);
+    }
+    // Serving entries sort by label for the same determinism
+    // guarantee as cases (load points may finish out of order).
+    std::stable_sort(serving.begin(), serving.end(),
+                     [](const ReportServing &a,
+                        const ReportServing &b) {
+                         return a.label < b.label;
+                     });
+    os << "],\"serving\":[";
+    for (std::size_t i = 0; i < serving.size(); ++i) {
+        if (i)
+            os << ",";
+        writeServing(os, serving[i]);
     }
     os << "],\"metrics\":";
     if (metrics)

@@ -69,6 +69,40 @@ struct ReportSweep
     std::uint64_t faultsRecovered = 0; //!< injected and survived
 };
 
+/** Per-tenant slice of a serving-run entry. */
+struct ReportServingTenant
+{
+    std::string name;
+    std::string qosClass;
+    std::uint64_t arrivals = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t sloMet = 0;
+    std::uint64_t rejected = 0;  //!< queue-full + shed + projected
+    std::uint64_t abandoned = 0;
+    std::uint64_t droppedAtShutdown = 0;
+    std::uint64_t maxQueueDepth = 0;
+    std::uint64_t p50Latency = 0;
+    std::uint64_t p99Latency = 0;
+    double sloAttainment = 0.0;
+    double goodput = 0.0;
+    bool stalled = false;
+};
+
+/** One online-serving run (bench_serving load point). */
+struct ReportServing
+{
+    std::string label;      //!< e.g. "poisson@x2.0"
+    std::string policy;
+    std::uint64_t endCycle = 0;
+    int finalLevel = 0;
+    std::uint64_t levelChanges = 0;
+    bool drained = false;
+    bool engineStalled = false;
+    bool anyTenantStalled = false;
+    std::vector<ReportServingTenant> tenants;
+};
+
 /**
  * Collector behind --stats-json. Attach one to the Runner options;
  * every top-level run() appends a case, runSweep() appends a sweep
@@ -83,13 +117,17 @@ class RunReport
     /** Append one sweep summary (thread-safe). */
     void addSweep(ReportSweep s);
 
+    /** Append one serving-run entry (thread-safe). */
+    void addServing(ReportServing s);
+
     /** Case entries collected so far. */
     std::size_t caseCount() const;
 
     /**
      * Serialize as one JSON object: {"cases":[...],"sweeps":[...],
-     * "metrics":{...}}. Cases are sorted by (key, config); sweeps
-     * keep insertion order. @p metrics may be null (emitted as {}).
+     * "serving":[...],"metrics":{...}}. Cases are sorted by
+     * (key, config) and serving entries by label; sweeps keep
+     * insertion order. @p metrics may be null (emitted as {}).
      */
     void write(std::ostream &os,
                const MetricsRegistry *metrics = nullptr) const;
@@ -103,6 +141,7 @@ class RunReport
     mutable std::mutex mutex_;
     std::vector<ReportCase> cases_;
     std::vector<ReportSweep> sweeps_;
+    std::vector<ReportServing> serving_;
 };
 
 } // namespace gqos

@@ -28,7 +28,13 @@ makePolicy(const std::string &scheme, std::vector<QosSpec> specs,
     }
 
     FineGrainOptions opts;
-    std::string base = scheme;
+    // "serving" is the online driver's default: rollover quota with
+    // runtime TB adjustment off, so a tenant that is momentarily
+    // idle (no queued request) keeps its reserved TB slots instead
+    // of being starved out by the static allocator's grow/evict
+    // feedback before its next arrival.
+    std::string base =
+        scheme == "serving" ? "rollover-nostatic" : scheme;
     auto strip = [&base](const std::string &suffix) {
         if (base.size() > suffix.size() &&
             base.compare(base.size() - suffix.size(),
@@ -70,7 +76,7 @@ knownPolicies()
 {
     return {"rollover", "elastic",  "naive",
             "rollover-time", "naive-nohist", "rollover-nohist",
-            "rollover-nostatic", "spart", "even"};
+            "rollover-nostatic", "serving", "spart", "even"};
 }
 
 } // namespace gqos

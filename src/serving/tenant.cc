@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tenant specs: parsing, defaults and request-sized kernels.
+ */
+
+#include "serving/tenant.hh"
+
+#include <cstdlib>
+
+#include "common/cli.hh"
+#include "workloads/parboil.hh"
+
+namespace gqos
+{
+
+const char *
+toString(QosClass c)
+{
+    switch (c) {
+      case QosClass::Guaranteed:
+        return "guaranteed";
+      case QosClass::Elastic:
+        return "elastic";
+      case QosClass::BestEffort:
+        return "besteffort";
+    }
+    return "?";
+}
+
+Result<QosClass>
+parseQosClass(const std::string &name)
+{
+    if (name == "guaranteed")
+        return QosClass::Guaranteed;
+    if (name == "elastic")
+        return QosClass::Elastic;
+    if (name == "besteffort" || name == "best-effort")
+        return QosClass::BestEffort;
+    return Error::format(ErrorCode::InvalidArgument,
+                         "unknown QoS class '%s' (want guaranteed, "
+                         "elastic or besteffort)",
+                         name.c_str());
+}
+
+Result<void>
+TenantSpec::check() const
+{
+    if (name.empty()) {
+        return Error(ErrorCode::InvalidArgument,
+                     "tenant spec needs a non-empty name");
+    }
+    if (!isParboilKernel(kernel)) {
+        return Error::format(ErrorCode::InvalidArgument,
+                             "tenant '%s': unknown kernel '%s'",
+                             name.c_str(), kernel.c_str());
+    }
+    if (goalFrac < 0.0 || goalFrac >= 1.0) {
+        return Error::format(ErrorCode::InvalidArgument,
+                             "tenant '%s': goal %g out of [0, 1)",
+                             name.c_str(), goalFrac);
+    }
+    if (queueCap == 0) {
+        return Error::format(ErrorCode::InvalidArgument,
+                             "tenant '%s': queue capacity must be "
+                             ">= 1",
+                             name.c_str());
+    }
+    return {};
+}
+
+namespace
+{
+
+/** strtod wrapper that insists the whole token parses. */
+bool
+parseDoubleToken(const std::string &s, double *out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size())
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseU64Token(const std::string &s, std::uint64_t *out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size())
+        return false;
+    *out = v;
+    return true;
+}
+
+} // anonymous namespace
+
+Result<TenantSpec>
+parseTenantSpec(const std::string &text)
+{
+    std::vector<std::string> parts = splitList(text, ':');
+    if (parts.size() < 2 || parts.size() > 6) {
+        return Error::format(
+            ErrorCode::InvalidArgument,
+            "tenant spec '%s': want "
+            "name:kernel[:class[:goal[:slo[:queue]]]]",
+            text.c_str());
+    }
+    TenantSpec spec;
+    spec.name = parts[0];
+    spec.kernel = parts[1];
+    if (parts.size() > 2) {
+        auto c = parseQosClass(parts[2]);
+        if (!c.ok())
+            return c.error();
+        spec.qosClass = c.value();
+    }
+    if (parts.size() > 3 &&
+        !parseDoubleToken(parts[3], &spec.goalFrac)) {
+        return Error::format(ErrorCode::InvalidArgument,
+                             "tenant spec '%s': bad goal '%s'",
+                             text.c_str(), parts[3].c_str());
+    }
+    std::uint64_t u = 0;
+    if (parts.size() > 4) {
+        if (!parseU64Token(parts[4], &u)) {
+            return Error::format(ErrorCode::InvalidArgument,
+                                 "tenant spec '%s': bad slo '%s'",
+                                 text.c_str(), parts[4].c_str());
+        }
+        spec.sloCycles = u;
+    }
+    if (parts.size() > 5) {
+        if (!parseU64Token(parts[5], &u) || u == 0) {
+            return Error::format(ErrorCode::InvalidArgument,
+                                 "tenant spec '%s': bad queue '%s'",
+                                 text.c_str(), parts[5].c_str());
+        }
+        spec.queueCap = static_cast<std::size_t>(u);
+    }
+    auto ok = spec.check();
+    if (!ok.ok())
+        return ok.error();
+    return spec;
+}
+
+Result<std::vector<TenantSpec>>
+parseTenantList(const std::string &text)
+{
+    std::vector<TenantSpec> out;
+    for (const std::string &item : splitList(text, ';')) {
+        if (item.empty())
+            continue;
+        auto spec = parseTenantSpec(item);
+        if (!spec.ok())
+            return spec.error();
+        out.push_back(std::move(spec.value()));
+    }
+    if (out.empty()) {
+        return Error(ErrorCode::InvalidArgument,
+                     "tenant list is empty");
+    }
+    return out;
+}
+
+std::vector<TenantSpec>
+defaultTenantMix()
+{
+    // Two protected tenants spanning the compute/memory split, one
+    // degradable elastic tenant and one shed-first background feed.
+    // SLOs are sized to the request-grid service times measured in
+    // EXPERIMENTS.md (a few thousand cycles under healthy load).
+    std::vector<TenantSpec> mix(4);
+    mix[0] = {"web", "sgemm", QosClass::Guaranteed, 0.5, 30000, 16};
+    mix[1] = {"video", "lbm", QosClass::Guaranteed, 0.4, 40000, 16};
+    mix[2] = {"analytics", "stencil", QosClass::Elastic, 0.3, 60000,
+              16};
+    mix[3] = {"batch", "histo", QosClass::BestEffort, 0.0, 80000,
+              16};
+    for (const TenantSpec &t : mix)
+        okOrDie(t.check());
+    return mix;
+}
+
+Result<KernelDesc>
+servingKernelDesc(const TenantSpec &spec)
+{
+    auto base = findParboilKernel(spec.kernel);
+    if (!base.ok())
+        return base.error();
+    KernelDesc desc = *base.value();
+    // One request = one small grid: a few TBs with short per-warp
+    // instruction budgets, so a single request occupies the GPU for
+    // thousands (not millions) of cycles and thousand-request traces
+    // stay tractable. The behaviour model (phases, locality,
+    // coalescing) is inherited unchanged from the suite kernel.
+    desc.name = spec.kernel + "@" + spec.name;
+    desc.gridTbs = 8;
+    desc.threadsPerTb = 128;
+    desc.warpInstrPerTb = 60;
+    auto ok = desc.check();
+    if (!ok.ok())
+        return ok.error();
+    return desc;
+}
+
+} // namespace gqos

@@ -133,15 +133,33 @@ jsonlAllocEvent(const AllocEventRecord &r)
     return os.str();
 }
 
-// Column order of the CSV backend; keep in sync with the three
-// csv*() formatters below.
+std::string
+jsonlServingEvent(const ServingEventRecord &r)
+{
+    std::ostringstream os;
+    os << "{\"type\":\"serving_event\""
+       << ",\"case\":\"" << jsonEscape(r.caseKey) << "\""
+       << ",\"cycle\":" << r.cycle
+       << ",\"event\":\"" << jsonEscape(r.event) << "\""
+       << ",\"tenant\":\"" << jsonEscape(r.tenant) << "\""
+       << ",\"request\":" << r.request
+       << ",\"latency\":" << r.latency
+       << ",\"level\":" << r.level
+       << ",\"detail\":\"" << jsonEscape(r.detail) << "\"}";
+    return os.str();
+}
+
+// Column order of the CSV backend; keep in sync with the four
+// csv*() formatters below. Serving events reuse `reason` for their
+// detail string and append their own tail columns.
 const char *kCsvHeader =
     "type,case,epoch,start,length,final_partial,kernel,is_qos,"
     "goal_ipc,non_qos_goal,alpha,ipc_epoch,ipc_history,attainment,"
     "quota_granted,instr_delta,completed_tbs,preempted_tbs,"
     "quota_refills,tb_target,tb_resident,iw_average,gated_fraction,"
     "leftover_per_sm,l1_accesses,l1_misses,l2_accesses,l2_misses,"
-    "dram_accesses,context_lines,cycle,sm,delta,reason";
+    "dram_accesses,context_lines,cycle,sm,delta,reason,"
+    "event,tenant,request,latency,level";
 
 std::string
 csvEpochKernel(const EpochKernelRecord &r)
@@ -160,7 +178,7 @@ csvEpochKernel(const EpochKernelRecord &r)
        << ',' << csvNumber(r.iwAverage) << ','
        << csvNumber(r.gatedFraction) << ','
        << leftoverList(r.leftoverPerSm, '|')
-       << ",,,,,,,,,,"; // mem + event columns empty
+       << ",,,,,,,,,,,,,,,"; // mem + event + serving columns empty
     return os.str();
 }
 
@@ -174,7 +192,7 @@ csvEpochMem(const EpochMemRecord &r)
        << ",,,,,,,,,,,,,,,,,," // kernel columns empty
        << r.l1Accesses << ',' << r.l1Misses << ',' << r.l2Accesses
        << ',' << r.l2Misses << ',' << r.dramAccesses << ','
-       << r.contextLines << ",,,,"; // event columns empty
+       << r.contextLines << ",,,,,,,,,"; // event + serving empty
     return os.str();
 }
 
@@ -188,7 +206,19 @@ csvAllocEvent(const AllocEventRecord &r)
        << csvNumber(r.iwAverage)
        << ",,,,,,,,," // gated..context_lines empty
        << r.cycle << ',' << r.sm << ',' << r.delta << ','
-       << csvField(r.reason);
+       << csvField(r.reason) << ",,,,,"; // serving columns empty
+    return os.str();
+}
+
+std::string
+csvServingEvent(const ServingEventRecord &r)
+{
+    std::ostringstream os;
+    os << "serving_event," << csvField(r.caseKey)
+       << ",,,,,,,,,,,,,,,,,,,,,,,,,,,,," // epoch..context_lines
+       << r.cycle << ",,," << csvField(r.detail) << ','
+       << csvField(r.event) << ',' << csvField(r.tenant) << ','
+       << r.request << ',' << r.latency << ',' << r.level;
     return os.str();
 }
 
@@ -265,6 +295,75 @@ CaseLabelingSink::onAllocEvent(const AllocEventRecord &rec)
     inner_->onAllocEvent(labeled);
 }
 
+void
+CaseLabelingSink::onServingEvent(const ServingEventRecord &rec)
+{
+    ServingEventRecord labeled = rec;
+    labeled.caseKey = caseKey_;
+    inner_->onServingEvent(labeled);
+}
+
+void
+BufferingTraceSink::onEpochKernel(const EpochKernelRecord &rec)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    Entry e;
+    e.kind = Entry::Kind::EpochKernel;
+    e.epochKernel = rec;
+    records_.push_back(std::move(e));
+}
+
+void
+BufferingTraceSink::onEpochMem(const EpochMemRecord &rec)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    Entry e;
+    e.kind = Entry::Kind::EpochMem;
+    e.epochMem = rec;
+    records_.push_back(std::move(e));
+}
+
+void
+BufferingTraceSink::onAllocEvent(const AllocEventRecord &rec)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    Entry e;
+    e.kind = Entry::Kind::AllocEvent;
+    e.allocEvent = rec;
+    records_.push_back(std::move(e));
+}
+
+void
+BufferingTraceSink::onServingEvent(const ServingEventRecord &rec)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    Entry e;
+    e.kind = Entry::Kind::Serving;
+    e.serving = rec;
+    records_.push_back(std::move(e));
+}
+
+void
+BufferingTraceSink::replayTo(TraceSink &sink) const
+{
+    for (const Entry &e : records_) {
+        switch (e.kind) {
+          case Entry::Kind::EpochKernel:
+            sink.onEpochKernel(e.epochKernel);
+            break;
+          case Entry::Kind::EpochMem:
+            sink.onEpochMem(e.epochMem);
+            break;
+          case Entry::Kind::AllocEvent:
+            sink.onAllocEvent(e.allocEvent);
+            break;
+          case Entry::Kind::Serving:
+            sink.onServingEvent(e.serving);
+            break;
+        }
+    }
+}
+
 Result<std::unique_ptr<JsonlTraceSink>>
 JsonlTraceSink::open(const std::string &path)
 {
@@ -304,6 +403,12 @@ void
 JsonlTraceSink::onAllocEvent(const AllocEventRecord &rec)
 {
     writeLine(jsonlAllocEvent(rec));
+}
+
+void
+JsonlTraceSink::onServingEvent(const ServingEventRecord &rec)
+{
+    writeLine(jsonlServingEvent(rec));
 }
 
 void
@@ -354,6 +459,12 @@ void
 CsvTraceSink::onAllocEvent(const AllocEventRecord &rec)
 {
     writeLine(csvAllocEvent(rec));
+}
+
+void
+CsvTraceSink::onServingEvent(const ServingEventRecord &rec)
+{
+    writeLine(csvServingEvent(rec));
 }
 
 void

@@ -103,6 +103,24 @@ struct AllocEventRecord
 };
 
 /**
+ * One request-lifecycle or control event of the online serving
+ * driver: arrivals, dispatches, completions, rejections, queue
+ * abandonments, degradation-ladder moves, tenant stalls and
+ * shutdown drops all flow through this record.
+ */
+struct ServingEventRecord
+{
+    std::string caseKey;
+    Cycle cycle = 0;
+    std::string event;   //!< "arrival", "dispatch", "complete", ...
+    std::string tenant;  //!< tenant name ("" for server-wide events)
+    std::uint64_t request = 0; //!< per-tenant request sequence number
+    std::uint64_t latency = 0; //!< launch-to-done cycles (complete)
+    int level = 0;       //!< degradation-ladder level when emitted
+    std::string detail;  //!< outcome / reason, free-form but stable
+};
+
+/**
  * Telemetry consumer interface. Implementations must tolerate
  * concurrent calls from multiple sweep worker threads.
  */
@@ -114,6 +132,12 @@ class TraceSink
     virtual void onEpochKernel(const EpochKernelRecord &rec) = 0;
     virtual void onEpochMem(const EpochMemRecord &rec) = 0;
     virtual void onAllocEvent(const AllocEventRecord &rec) = 0;
+
+    /**
+     * Serving-driver lifecycle event. Default no-op so batch-only
+     * sinks (and out-of-tree implementations) need not care.
+     */
+    virtual void onServingEvent(const ServingEventRecord &) {}
 
     /** Make everything emitted so far durable (default no-op). */
     virtual void flush() {}
@@ -135,6 +159,7 @@ class CaseLabelingSink : public TraceSink
     void onEpochKernel(const EpochKernelRecord &rec) override;
     void onEpochMem(const EpochMemRecord &rec) override;
     void onAllocEvent(const AllocEventRecord &rec) override;
+    void onServingEvent(const ServingEventRecord &rec) override;
     void flush() override { inner_->flush(); }
 
   private:
@@ -167,12 +192,57 @@ class RecordingTraceSink : public TraceSink
         allocEvents.push_back(rec);
     }
 
+    void
+    onServingEvent(const ServingEventRecord &rec) override
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        servingEvents.push_back(rec);
+    }
+
     std::vector<EpochKernelRecord> epochKernel;
     std::vector<EpochMemRecord> epochMem;
     std::vector<AllocEventRecord> allocEvents;
+    std::vector<ServingEventRecord> servingEvents;
 
   private:
     std::mutex mutex_;
+};
+
+/**
+ * Order-preserving buffer of every record kind. The serving harness
+ * gives each concurrently-simulated load point its own buffer, then
+ * replays the buffers into the real output sink in submission order
+ * — so the trace file is byte-identical at any `--jobs` level even
+ * though the simulations ran in parallel.
+ */
+class BufferingTraceSink : public TraceSink
+{
+  public:
+    void onEpochKernel(const EpochKernelRecord &rec) override;
+    void onEpochMem(const EpochMemRecord &rec) override;
+    void onAllocEvent(const AllocEventRecord &rec) override;
+    void onServingEvent(const ServingEventRecord &rec) override;
+
+    /** Forward every buffered record to @p sink, in emission order. */
+    void replayTo(TraceSink &sink) const;
+
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    struct Entry
+    {
+        // A tiny hand-rolled variant keeps the header dependency
+        // surface flat; exactly one member is populated per entry.
+        enum class Kind { EpochKernel, EpochMem, AllocEvent, Serving };
+        Kind kind;
+        EpochKernelRecord epochKernel;
+        EpochMemRecord epochMem;
+        AllocEventRecord allocEvent;
+        ServingEventRecord serving;
+    };
+
+    std::mutex mutex_;
+    std::vector<Entry> records_;
 };
 
 /**
@@ -191,6 +261,7 @@ class JsonlTraceSink : public TraceSink
     void onEpochKernel(const EpochKernelRecord &rec) override;
     void onEpochMem(const EpochMemRecord &rec) override;
     void onAllocEvent(const AllocEventRecord &rec) override;
+    void onServingEvent(const ServingEventRecord &rec) override;
     void flush() override;
 
   private:
@@ -219,6 +290,7 @@ class CsvTraceSink : public TraceSink
     void onEpochKernel(const EpochKernelRecord &rec) override;
     void onEpochMem(const EpochMemRecord &rec) override;
     void onAllocEvent(const AllocEventRecord &rec) override;
+    void onServingEvent(const ServingEventRecord &rec) override;
     void flush() override;
 
   private:

@@ -15,6 +15,9 @@
 #include "arch/gpu_config.hh"
 #include "common/fault_injection.hh"
 #include "harness/runner.hh"
+#include "serving/arrival.hh"
+#include "serving/server.hh"
+#include "serving/tenant.hh"
 
 namespace gqos
 {
@@ -210,6 +213,127 @@ TEST_F(FaultSweepFixture, CorruptedAppendsAreHealedOnReload)
                          clean[i].kernels[0].ipc);
         EXPECT_DOUBLE_EQ(healed[i].kernels[1].ipc,
                          clean[i].kernels[1].ipc);
+    }
+}
+
+// ---------------------------------------------------------------
+// Serving-path fault sites: admission and arrival-parse sabotage
+// must degrade the run, never wedge or corrupt its accounting, and
+// scoped decision streams must make the outcome a function of the
+// case index alone (parallelism-independent).
+// ---------------------------------------------------------------
+
+struct ServingFaultFixture : public FaultFixture
+{
+    ServingReport
+    serve()
+    {
+        std::vector<TenantSpec> mix(3);
+        mix[0] = {"g", "sgemm", QosClass::Guaranteed, 0.4, 40000, 4};
+        mix[1] = {"e", "stencil", QosClass::Elastic, 0.2, 60000, 4};
+        mix[2] = {"b", "histo", QosClass::BestEffort, 0.0, 80000, 4};
+        ServingOptions opts;
+        opts.caseKey = "fault-test";
+        opts.drainGrace = 100000;
+        ArrivalConfig cfg;
+        cfg.ratePerKcycle = 0.2;
+        cfg.horizon = 150000;
+        cfg.numTenants = 3;
+        cfg.seed = 13;
+        auto driver = ServingDriver::make(mix, opts);
+        EXPECT_TRUE(driver.ok());
+        auto report =
+            driver.value()->run(generateArrivals(cfg), nullptr);
+        EXPECT_TRUE(report.ok());
+        return report.value();
+    }
+};
+
+TEST_F(ServingFaultFixture, AdmissionFaultsDegradeButConserve)
+{
+    auto &fi = FaultInjector::instance();
+    fi.configure("queue_overflow:0.2,admission_project:0.2");
+    fi.reseed(3);
+    fi.beginScope(0);
+    ServingReport r = serve();
+    EXPECT_GT(fi.injected("queue_overflow"), 0u);
+    fi.clear();
+    // Sabotaged admission loses requests, never accounting.
+    std::uint64_t forced = 0;
+    for (const TenantServingStats &t : r.tenants) {
+        EXPECT_EQ(t.arrivals, t.admitted + t.rejectedQueueFull +
+                                  t.rejectedShed +
+                                  t.rejectedProjected);
+        EXPECT_EQ(t.admitted, t.completed + t.abandoned +
+                                  t.droppedAtShutdown);
+        forced += t.rejectedQueueFull;
+    }
+    EXPECT_GT(forced, 0u);
+    EXPECT_FALSE(r.engineStalled);
+    EXPECT_FALSE(r.anyTenantStalled);
+}
+
+TEST_F(ServingFaultFixture, ScopedFaultsReplayByCaseIndex)
+{
+    auto &fi = FaultInjector::instance();
+    fi.configure("queue_overflow:0.3");
+    fi.reseed(17);
+
+    fi.beginScope(4);
+    ServingReport a = serve();
+    // Interleave a different scope's decisions, as a concurrent
+    // worker would, then replay scope 4: identical outcome.
+    fi.beginScope(2);
+    serve();
+    fi.beginScope(4);
+    ServingReport b = serve();
+    fi.clear();
+
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+        EXPECT_EQ(a.tenants[i].rejectedQueueFull,
+                  b.tenants[i].rejectedQueueFull);
+        EXPECT_EQ(a.tenants[i].completed, b.tenants[i].completed);
+        EXPECT_EQ(a.tenants[i].abandoned, b.tenants[i].abandoned);
+    }
+    EXPECT_EQ(a.endCycle, b.endCycle);
+}
+
+TEST_F(ServingFaultFixture, ArrivalParseFaultIsScopedToo)
+{
+    const std::string path = "/tmp/gqos_fault_arrivals_" +
+                             std::to_string(::getpid()) + ".jsonl";
+    ArrivalConfig cfg;
+    cfg.ratePerKcycle = 0.5;
+    cfg.horizon = 100000;
+    cfg.numTenants = 3;
+    cfg.seed = 2;
+    ASSERT_TRUE(
+        writeArrivalTrace(path, generateArrivals(cfg)).ok());
+
+    auto &fi = FaultInjector::instance();
+    fi.configure("arrival_parse:0.5");
+    fi.reseed(23);
+    fi.beginScope(1);
+    std::uint64_t badA = 0;
+    auto a = loadArrivalTrace(path, 3, &badA);
+    fi.beginScope(3);
+    auto interleaved = loadArrivalTrace(path, 3);
+    (void)interleaved;
+    fi.beginScope(1);
+    std::uint64_t badB = 0;
+    auto b = loadArrivalTrace(path, 3, &badB);
+    fi.clear();
+    std::filesystem::remove(path);
+
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_GT(badA, 0u);
+    EXPECT_EQ(badA, badB);
+    ASSERT_EQ(a.value().size(), b.value().size());
+    for (std::size_t i = 0; i < a.value().size(); ++i) {
+        EXPECT_EQ(a.value()[i].cycle, b.value()[i].cycle);
+        EXPECT_EQ(a.value()[i].tenant, b.value()[i].tenant);
     }
 }
 
