@@ -22,6 +22,11 @@
  *                  stream per-epoch QoS telemetry to FILE; format
  *                  "jsonl" (default) or "csv" (a .csv extension
  *                  also selects CSV)
+ *   --timeline=FILE
+ *                  export a Chrome-trace/Perfetto timeline of the
+ *                  run (SM occupancy slices, per-kernel counters,
+ *                  scheduling instants) to FILE; load it at
+ *                  https://ui.perfetto.dev. Composable with --trace.
  *   --stats-json=FILE
  *                  write a structured end-of-run report (cases,
  *                  sweeps, harness metrics) to FILE at exit
@@ -51,6 +56,7 @@
 #include "harness/run_report.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
+#include "telemetry/timeline.hh"
 #include "telemetry/trace.hh"
 #include "workloads/parboil.hh"
 
@@ -72,16 +78,35 @@ constexpr int defaultTrios = 12;
 struct BenchTelemetry
 {
     std::unique_ptr<TraceSink> trace;
+    std::unique_ptr<TimelineSink> timeline;
+    /** Fan-out when both --trace and --timeline are active. */
+    std::unique_ptr<TraceSink> tee;
     std::string tracePath;
     std::string statsJsonPath;
     MetricsRegistry metrics;
     RunReport report;
     bool initialized = false;
 
+    /**
+     * The sink Runner options should observe: the tee when both
+     * --trace and --timeline are given, else whichever one is.
+     */
+    TraceSink *
+    sink() const
+    {
+        if (tee)
+            return tee.get();
+        if (timeline)
+            return timeline.get();
+        return trace.get();
+    }
+
     ~BenchTelemetry()
     {
         if (trace)
             trace->flush();
+        if (timeline)
+            timeline->flush();
         if (statsJsonPath.empty())
             return;
         Result<void> w = report.writeFile(statsJsonPath, &metrics);
@@ -128,6 +153,19 @@ initBenchTelemetry(const CliArgs &args)
                          t.tracePath.c_str());
         }
     }
+    const std::string timeline = args.getString("timeline", "");
+    if (!timeline.empty()) {
+        t.timeline = okOrDie(TimelineSink::open(timeline));
+        if (logLevel() != LogLevel::Quiet) {
+            std::fprintf(stderr,
+                         "info: exporting Perfetto timeline to %s\n",
+                         timeline.c_str());
+        }
+        if (t.trace) {
+            t.tee = std::make_unique<TeeTraceSink>(t.trace.get(),
+                                                   t.timeline.get());
+        }
+    }
     t.statsJsonPath = args.getString("stats-json", "");
 }
 
@@ -153,7 +191,7 @@ runnerOptions(const CliArgs &args, const std::string &config = "default")
     opts.verbose = args.getBool("verbose", false);
     opts.engine = okOrDie(
         parseEngineKind(args.getString("engine", "event")));
-    opts.traceSink = t.trace.get();
+    opts.traceSink = t.sink();
     opts.tracePath = t.tracePath;
     if (!t.statsJsonPath.empty()) {
         opts.metrics = &t.metrics;

@@ -15,6 +15,7 @@
 #include "mem/mem_system.hh"
 #include "common/rng.hh"
 #include "policy/fine_grain_qos.hh"
+#include "telemetry/cycle_accounting.hh"
 #include "workloads/parboil.hh"
 
 using namespace gqos;
@@ -126,5 +127,42 @@ BENCHMARK_CAPTURE(BM_Engine, event_compute, EngineKind::Event,
                   "sgemm", "cutcp");
 BENCHMARK_CAPTURE(BM_Engine, reference_compute, EngineKind::Reference,
                   "sgemm", "cutcp");
+
+/**
+ * Cycle-attribution profiler overhead: the BM_Engine/event_mem
+ * co-run with the profiler left off (the default bench path — the
+ * per-cycle `if (accounting_)` branch untaken) and with it
+ * enabled. bench_speed.sh gates the off-path against the
+ * BM_Engine/event_mem median (same measurement modulo noise, <2%)
+ * and records the on-path cost alongside.
+ */
+static void
+BM_Attribution(benchmark::State &state, bool accounting)
+{
+    GpuConfig cfg = defaultConfig();
+    const KernelDesc &dq = parboilKernel("lbm");
+    const KernelDesc &db = parboilKernel("spmv");
+    constexpr Cycle simCycles = 50000;
+    Cycle total = 0;
+    for (auto _ : state) {
+        Gpu gpu(cfg);
+        gpu.launch({&dq, &db});
+        if (accounting)
+            gpu.setCycleAccounting(true);
+        FineGrainQosPolicy pol({QosSpec::qos(250.0),
+                                QosSpec::nonQos()},
+                               FineGrainOptions{}, cfg.epochLength);
+        pol.onLaunch(gpu);
+        SimEngine engine(EngineKind::Event, cfg.epochLength);
+        engine.runUntil(gpu, pol, simCycles);
+        CycleBreakdown b = gpu.cycleBreakdown(0);
+        benchmark::DoNotOptimize(b);
+        total += gpu.now();
+    }
+    state.counters["cycles_per_sec"] = benchmark::Counter(
+        static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_Attribution, off, false);
+BENCHMARK_CAPTURE(BM_Attribution, on, true);
 
 BENCHMARK_MAIN();

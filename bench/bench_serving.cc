@@ -154,6 +154,7 @@ toReportServing(const LoadPoint &pt, const std::string &policy)
         rt.stalled = t.stalled;
         out.tenants.push_back(std::move(rt));
     }
+    out.cycleBreakdown = pt.report.cycleBreakdown;
     return out;
 }
 
@@ -275,8 +276,11 @@ servingMain(const CliArgs &args)
                 pt.error = driver.error().describe();
                 continue;
             }
-            auto rep =
-                driver.value()->run(pt.arrivals, &pt.buffer);
+            // The point buffers its records for in-order replay to
+            // the process-wide sink; with no sink attached the run
+            // stays on the untraced fast path.
+            auto rep = driver.value()->run(
+                pt.arrivals, tel.sink() ? &pt.buffer : nullptr);
             if (!rep.ok()) {
                 pt.failed = true;
                 pt.error = rep.error().describe();
@@ -298,14 +302,14 @@ servingMain(const CliArgs &args)
         if (pt.failed)
             gqos_fatal("%s: %s", pt.label.c_str(),
                        pt.error.c_str());
-        if (tel.trace)
-            pt.buffer.replayTo(*tel.trace);
+        if (TraceSink *s = tel.sink())
+            pt.buffer.replayTo(*s);
         printPoint(pt, mix, base.policy);
         if (!tel.statsJsonPath.empty())
             tel.report.addServing(toReportServing(pt, base.policy));
     }
-    if (tel.trace)
-        tel.trace->flush();
+    if (TraceSink *s = tel.sink())
+        s->flush();
     return 0;
 }
 

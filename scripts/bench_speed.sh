@@ -5,7 +5,10 @@
 # entry to the history array in BENCH_speed.json at the repo root
 # (one entry per run, keyed by commit — the per-PR speed record).
 # The headline number is the memory-bound speedup (event over
-# reference), which the event engine must keep >= 1.3x.
+# reference), which the event engine must keep >= 1.3x. Also gates
+# the cycle-attribution profiler: the off-path (profiler disabled,
+# every default bench run) must stay within 2% of the identical
+# unprofiled measurement.
 #
 # Methodology: wall-clock on a loaded single-core box is noisy, so
 # bench_micro runs with 8 repetitions under random interleaving and
@@ -23,9 +26,9 @@ out=BENCH_speed.json
 scratch="$(mktemp -d)"
 trap 'rm -rf "$scratch"' EXIT
 
-echo "==> bench_micro BM_Engine (8 interleaved repetitions)"
+echo "==> bench_micro BM_Engine + BM_Attribution (8 interleaved repetitions)"
 "$builddir/bench/bench_micro" \
-    --benchmark_filter='BM_Engine' \
+    --benchmark_filter='BM_Engine|BM_Attribution' \
     --benchmark_repetitions=8 \
     --benchmark_enable_random_interleaving=true \
     --benchmark_report_aggregates_only=true \
@@ -61,10 +64,14 @@ for b in micro["benchmarks"]:
         continue
     for case in ("event_mem", "reference_mem",
                  "event_compute", "reference_compute"):
-        if f"/{case}" in b["run_name"]:
+        if f"BM_Engine/{case}" in b["run_name"]:
             med[case] = b["cycles_per_sec"]
+    for case in ("off", "on"):
+        if f"BM_Attribution/{case}" in b["run_name"]:
+            med[f"attribution_{case}"] = b["cycles_per_sec"]
 missing = [c for c in ("event_mem", "reference_mem",
-                       "event_compute", "reference_compute")
+                       "event_compute", "reference_compute",
+                       "attribution_off", "attribution_on")
            if c not in med]
 assert not missing, f"missing medians for {missing}"
 
@@ -90,6 +97,17 @@ entry = {
         "event_sim_cycles_per_sec": harness(ev_path),
         "reference_sim_cycles_per_sec": harness(ref_path),
     },
+    # Cycle-attribution profiler cost. "off" is the default bench
+    # path (profiler branch untaken) and must stay within 2% of the
+    # twin BM_Engine/event_mem measurement; "on" is informational.
+    "attribution": {
+        "off_cycles_per_sec": med["attribution_off"],
+        "on_cycles_per_sec": med["attribution_on"],
+        "off_path_overhead":
+            1.0 - med["attribution_off"] / med["event_mem"],
+        "on_path_overhead":
+            1.0 - med["attribution_on"] / med["attribution_off"],
+    },
 }
 
 # BENCH_speed.json holds the whole history, one entry per run. A
@@ -114,6 +132,11 @@ print(f"history: {len(history)} entries")
 mem = entry["speedup"]["memory_bound"]
 assert mem >= 1.3, f"memory-bound speedup {mem:.3f}x < 1.3x"
 print(f"OK: memory-bound speedup {mem:.3f}x >= 1.3x")
+off = entry["attribution"]["off_path_overhead"]
+assert off < 0.02, \
+    f"attribution off-path overhead {off:.1%} >= 2%"
+print(f"OK: attribution off-path overhead {off:.1%} < 2% "
+      f"(on-path {entry['attribution']['on_path_overhead']:.1%})")
 EOF
 
 echo "==> wrote $out"

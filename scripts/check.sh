@@ -11,7 +11,11 @@
 # print byte-identical stdout and trace JSONL across two runs and
 # across --jobs 1 vs 4, with and without admission-path fault
 # injection, and its --stats-json accounting must conserve every
-# arrival. The default preset additionally runs the engine
+# arrival. Every preset also runs the timeline smoke: --timeline
+# must leave stdout byte-identical, export one valid JSON document
+# that is byte-identical across --jobs 1 vs 4, and the cycle-
+# attribution breakdowns in --stats-json must conserve every SM
+# cycle. The default preset additionally runs the engine
 # differential smoke: every simulating figure bench must print
 # byte-identical stdout (and byte-identical --trace JSONL) under
 # --engine event and --engine reference.
@@ -89,6 +93,7 @@ trace_smoke() {
         > "$scratch/plain.out" 2>/dev/null
     "$bin" $flags --jobs 4 --cache "$scratch/t1" \
         --trace "$scratch/epochs.jsonl" \
+        --timeline "$scratch/timeline.json" \
         --stats-json "$scratch/stats.json" \
         > "$scratch/traced.out" 2>/dev/null
     cmp "$scratch/plain.out" "$scratch/traced.out"
@@ -102,26 +107,112 @@ trace_smoke() {
         echo "trace smoke: empty stats file" >&2; return 1; }
 
     if command -v python3 >/dev/null 2>&1; then
-        python3 - "$scratch/epochs.jsonl" "$scratch/stats.json" <<'EOF'
+        python3 - "$scratch/epochs.jsonl" "$scratch/stats.json" \
+            "$scratch/timeline.json" <<'EOF'
 import json, sys
-trace, stats = sys.argv[1], sys.argv[2]
+trace, stats, timeline = sys.argv[1], sys.argv[2], sys.argv[3]
 kinds = {}
 with open(trace) as f:
     for n, line in enumerate(f, 1):
         rec = json.loads(line)   # every line must parse alone
         kinds[rec["type"]] = kinds.get(rec["type"], 0) + 1
+        assert "schema_version" in rec, f"line {n} lacks schema_version"
 assert kinds.get("epoch_kernel", 0) > 0, "no epoch_kernel records"
 assert kinds.get("epoch_mem", 0) > 0, "no epoch_mem records"
+assert kinds.get("sm_slice", 0) > 0, "no sm_slice records"
 with open(stats) as f:
     rep = json.load(f)
+assert rep["schema_version"] >= 2, "stats report lacks schema_version"
 assert rep["cases"], "stats report has no cases"
 assert rep["sweeps"], "stats report has no sweeps"
 assert "metrics" in rep, "stats report has no metrics"
-print("trace smoke: %d trace records, %d cases, %d sweeps"
-      % (sum(kinds.values()), len(rep["cases"]), len(rep["sweeps"])))
+cats = ("issued", "quota_gated", "mem_stall", "no_ready_warp",
+        "drain_preempt", "inert_skipped")
+for case in rep["cases"]:
+    if case["from_cache"]:
+        continue
+    assert case["cycle_breakdown"], case["key"]
+    # Conservation: the six categories telescope to one total per
+    # kernel, and every kernel of a case covers the same cycles.
+    totals = {sum(b[c] for c in cats) for b in case["cycle_breakdown"]}
+    assert len(totals) == 1 and totals.pop() > 0, case["key"]
+with open(timeline) as f:
+    tl = json.load(f)            # the timeline must be one JSON doc
+assert tl["schema_version"] >= 2, "timeline lacks schema_version"
+phases = {}
+for ev in tl["traceEvents"]:
+    phases[ev["ph"]] = phases.get(ev["ph"], 0) + 1
+assert phases.get("X", 0) > 0, "timeline has no SM occupancy slices"
+assert phases.get("C", 0) > 0, "timeline has no counter tracks"
+assert phases.get("M", 0) > 0, "timeline has no track metadata"
+print("trace smoke: %d trace records, %d cases, %d sweeps, "
+      "%d timeline events"
+      % (sum(kinds.values()), len(rep["cases"]), len(rep["sweeps"]),
+         len(tl["traceEvents"])))
 EOF
     else
         echo "trace smoke: python3 not found; skipping JSON validation"
+    fi
+
+    timeline_smoke "$preset"
+}
+
+timeline_smoke() {
+    local preset="$1"
+    local bin
+    bin="$(builddir_for "$preset")/bench/bench_serving"
+    local flags="--launches 60 --loads 1.0,2.0 --rate 0.08 --quiet"
+    local scratch
+    scratch="$(mktemp -d)"
+    trap 'rm -rf "$scratch"' RETURN
+
+    echo "==> [$preset] timeline smoke (--timeline is observer-only, jobs 1 vs 4)"
+    # The exporter must be invisible to the run (byte-identical
+    # stdout) and deterministic (byte-identical timeline file at any
+    # job count).
+    # shellcheck disable=SC2086 # word-splitting of $flags is wanted
+    "$bin" $flags --jobs 1 > "$scratch/plain.out" 2>/dev/null
+    # shellcheck disable=SC2086
+    "$bin" $flags --jobs 1 --timeline "$scratch/t1.json" \
+        --stats-json "$scratch/stats.json" \
+        > "$scratch/t1.out" 2>/dev/null
+    # shellcheck disable=SC2086
+    "$bin" $flags --jobs 4 --timeline "$scratch/t4.json" \
+        > "$scratch/t4.out" 2>/dev/null
+    cmp "$scratch/plain.out" "$scratch/t1.out"
+    cmp "$scratch/plain.out" "$scratch/t4.out"
+    cmp "$scratch/t1.json" "$scratch/t4.json"
+
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$scratch/t1.json" "$scratch/stats.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    tl = json.load(f)
+names = {ev["name"] for ev in tl["traceEvents"]}
+# SM tracks are thread_name metadata records; the occupancy slices
+# on them are "X" events named after the resident kernel.
+tracks = {ev["args"]["name"] for ev in tl["traceEvents"]
+          if ev["ph"] == "M" and ev["name"] == "thread_name"}
+assert any(t.startswith("SM ") for t in tracks), "no SM tracks"
+assert any(ev["ph"] == "X" for ev in tl["traceEvents"]), "no slices"
+assert any(n.startswith("queue ") for n in names), "no queue counters"
+assert "admission level" in names, "no admission-level counter"
+for inst in ("arrival", "dispatch", "complete"):
+    assert inst in names, f"no {inst} instants"
+with open(sys.argv[2]) as f:
+    rep = json.load(f)
+cats = ("issued", "quota_gated", "mem_stall", "no_ready_warp",
+        "drain_preempt", "inert_skipped")
+assert rep["serving"], "no serving entries"
+for point in rep["serving"]:
+    totals = {sum(b[c] for c in cats)
+              for b in point["cycle_breakdown"]}
+    assert len(totals) == 1 and totals.pop() > 0, point["label"]
+print("timeline smoke: %d events, %d serving points conserved"
+      % (len(tl["traceEvents"]), len(rep["serving"])))
+EOF
+    else
+        echo "timeline smoke: python3 not found; skipping JSON validation"
     fi
 }
 

@@ -57,13 +57,14 @@ Gpu::launch(const std::vector<const KernelDesc *> &descs)
 
     tbTargets_.assign(sms_.size(),
                       std::vector<int>(runs_.size(), 0));
+    sliceStart_.assign(sms_.size(),
+                       std::vector<Cycle>(runs_.size(), cycleNever));
     dispatchDirty_ = true;
 }
 
 void
 Gpu::onTbEvent(SmId sm, KernelId k, TbExit exit)
 {
-    (void)sm;
     KernelDispatchState &ds = dispatch_[k];
     ds.liveTbs--;
     gqos_assert(ds.liveTbs >= 0);
@@ -93,6 +94,12 @@ Gpu::onTbEvent(SmId sm, KernelId k, TbExit exit)
     // A freed TB slot (or a requeued TB) can enable a dispatch or
     // unblock a pending shrink decision.
     dispatchDirty_ = true;
+
+    if (smSlice_ && sliceStart_[sm][k] != cycleNever &&
+        sms_[sm].residentTbs(k) == 0) {
+        smSlice_(sm, k, sliceStart_[sm][k], now_);
+        sliceStart_[sm][k] = cycleNever;
+    }
 }
 
 bool
@@ -130,7 +137,10 @@ Gpu::dispatchCycle()
             std::uint64_t launch_pos = static_cast<std::uint64_t>(
                 runs_[k].desc().gridTbs -
                 dispatch_[k].remainingInLaunch);
+            bool was_empty = sm.residentTbs(k) == 0;
             sm.dispatchTb(k, tbSeq_++, launch_pos, now_);
+            if (smSlice_ && was_empty)
+                sliceStart_[s][k] = now_;
             dispatch_[k].remainingInLaunch--;
             dispatch_[k].liveTbs++;
             acted = true;
@@ -346,6 +356,47 @@ Gpu::setQuotaGatingAll(bool on)
 {
     for (auto &sm : sms_)
         sm.setQuotaGating(on);
+}
+
+void
+Gpu::setCycleAccounting(bool on)
+{
+    accounting_ = on;
+    for (auto &sm : sms_)
+        sm.setCycleAccounting(on);
+}
+
+CycleBreakdown
+Gpu::cycleBreakdown(KernelId k) const
+{
+    gqos_assert(k >= 0 && k < numKernels());
+    CycleBreakdown b;
+    for (const auto &sm : sms_)
+        b += sm.cycleBreakdown(k);
+    return b;
+}
+
+void
+Gpu::setSmSliceCallback(SmSliceFn fn)
+{
+    smSlice_ = std::move(fn);
+}
+
+void
+Gpu::closeOpenSmSlices()
+{
+    if (!smSlice_)
+        return;
+    for (std::size_t s = 0; s < sliceStart_.size(); ++s) {
+        for (std::size_t k = 0; k < sliceStart_[s].size(); ++k) {
+            if (sliceStart_[s][k] == cycleNever)
+                continue;
+            smSlice_(static_cast<SmId>(s),
+                     static_cast<KernelId>(k), sliceStart_[s][k],
+                     now_);
+            sliceStart_[s][k] = cycleNever;
+        }
+    }
 }
 
 SmCore &

@@ -15,6 +15,7 @@
 #define GQOS_GPU_GPU_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -127,6 +128,34 @@ class Gpu
     /** Enable/disable EWS quota gating on every SM. */
     void setQuotaGatingAll(bool on);
 
+    // ---- cycle attribution / timeline observability ----
+
+    /**
+     * Enable the cycle-attribution profiler on every SM. Must be
+     * called before the first step() (see
+     * SmCore::setCycleAccounting).
+     */
+    void setCycleAccounting(bool on);
+    bool cycleAccounting() const { return accounting_; }
+
+    /** Attribution of kernel @p k summed over all SMs. */
+    CycleBreakdown cycleBreakdown(KernelId k) const;
+
+    /**
+     * Kernel-occupancy slice callback for the timeline exporter:
+     * fired as (sm, kernel, start, end) whenever kernel @p k's
+     * resident-TB count on an SM returns to zero, closing the
+     * occupancy span that opened when it first became resident.
+     * Slices still open at the end of a run are emitted by
+     * closeOpenSmSlices().
+     */
+    using SmSliceFn =
+        std::function<void(SmId, KernelId, Cycle, Cycle)>;
+    void setSmSliceCallback(SmSliceFn fn);
+
+    /** Emit every still-open occupancy slice with end = now(). */
+    void closeOpenSmSlices();
+
     // ---- launch control (serving mode) ----
 
     /**
@@ -234,6 +263,10 @@ class Gpu
     std::vector<Cycle> smInertUntil_;
     std::vector<std::uint64_t> smCacheVersion_;
     std::uint64_t smSkipped_ = 0;
+    bool accounting_ = false;
+    SmSliceFn smSlice_;
+    /** Open-slice start per [sm][kernel]; cycleNever = closed. */
+    std::vector<std::vector<Cycle>> sliceStart_;
 };
 
 } // namespace gqos

@@ -43,6 +43,19 @@ writeKernel(std::ostream &os, const ReportKernel &k)
 }
 
 void
+writeBreakdown(std::ostream &os,
+               const std::vector<CycleBreakdown> &b)
+{
+    os << ",\"cycle_breakdown\":[";
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        if (i)
+            os << ",";
+        os << jsonObject(b[i]);
+    }
+    os << "]";
+}
+
+void
 writeCase(std::ostream &os, const ReportCase &c)
 {
     os << "{\"key\":\"" << jsonEscape(c.key) << "\""
@@ -62,7 +75,9 @@ writeCase(std::ostream &os, const ReportCase &c)
             os << ",";
         writeKernel(os, c.kernels[i]);
     }
-    os << "]}";
+    os << "]";
+    writeBreakdown(os, c.cycleBreakdown);
+    os << "}";
 }
 
 void
@@ -116,7 +131,9 @@ writeServing(std::ostream &os, const ReportServing &s)
             os << ",";
         writeServingTenant(os, s.tenants[i]);
     }
-    os << "]}";
+    os << "]";
+    writeBreakdown(os, s.cycleBreakdown);
+    os << "}";
 }
 
 } // anonymous namespace
@@ -171,7 +188,8 @@ RunReport::write(std::ostream &os,
                          return a.config < b.config;
                      });
 
-    os << "{\"cases\":[";
+    os << "{\"schema_version\":" << reportSchemaVersion
+       << ",\"cases\":[";
     for (std::size_t i = 0; i < cases.size(); ++i) {
         if (i)
             os << ",";

@@ -20,11 +20,23 @@
 #include <vector>
 
 #include "common/result.hh"
+#include "telemetry/cycle_accounting.hh"
 
 namespace gqos
 {
 
 class MetricsRegistry;
+
+/**
+ * Schema version of the --stats-json document (top-level
+ * "schema_version" field). Bump when entries gain, lose or
+ * reinterpret fields.
+ *
+ *   1: initial layout
+ *   2: schema_version stamped; cases and serving entries gain
+ *      "cycle_breakdown" (cycle-attribution profiler)
+ */
+constexpr int reportSchemaVersion = 2;
 
 /** Per-kernel slice of a report case. */
 struct ReportKernel
@@ -55,6 +67,9 @@ struct ReportCase
     /** Trace artifact of this case ("" when untraced). */
     std::string tracePath;
     std::vector<ReportKernel> kernels;
+    /** Per-kernel cycle attribution summed over SMs (empty when the
+     *  profiler was off or the case came from the cache). */
+    std::vector<CycleBreakdown> cycleBreakdown;
 };
 
 /** Aggregates of one runSweep() invocation. */
@@ -101,6 +116,9 @@ struct ReportServing
     bool engineStalled = false;
     bool anyTenantStalled = false;
     std::vector<ReportServingTenant> tenants;
+    /** Per-tenant (kernel-slot) cycle attribution, index-aligned
+     *  with `tenants`; empty when the profiler was off. */
+    std::vector<CycleBreakdown> cycleBreakdown;
 };
 
 /**

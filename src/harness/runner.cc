@@ -168,6 +168,12 @@ Runner::simulate(const std::vector<std::string> &kernels,
 
     Gpu gpu(cfg_);
     gpu.launch(descs);
+    // Cycle attribution rides along whenever the run is observed
+    // (metrics or --stats-json); simulation results are identical
+    // either way, the profiler only counts.
+    const bool accounting = opts_.metrics || opts_.report;
+    if (accounting)
+        gpu.setCycleAccounting(true);
     Result<std::unique_ptr<SharingPolicy>> pol =
         makePolicy(policy, specs, cfg_);
     if (!pol.ok())
@@ -178,6 +184,16 @@ Runner::simulate(const std::vector<std::string> &kernels,
     if (opts_.traceSink) {
         case_sink = std::make_unique<CaseLabelingSink>(
             opts_.traceSink, caseKey(kernels, goal_frac, policy));
+        gpu.setSmSliceCallback(
+            [&case_sink](SmId sm, KernelId k, Cycle start,
+                         Cycle end) {
+                SmSliceRecord rec;
+                rec.sm = sm;
+                rec.kernel = k;
+                rec.start = start;
+                rec.end = end;
+                case_sink->onSmSlice(rec);
+            });
     }
     if (case_sink || opts_.metrics) {
         pol.value()->attachTelemetry(case_sink.get(),
@@ -219,6 +235,25 @@ Runner::simulate(const std::vector<std::string> &kernels,
     }
 
     pol.value()->onFinish(gpu);
+    gpu.closeOpenSmSlices();
+
+    lastBreakdown_.clear();
+    if (accounting) {
+        // Conservation invariant: per (sm, kernel), the categories
+        // telescope exactly to the SM's cycle count, whichever
+        // stepping engine ran the case.
+        for (int s = 0; s < gpu.numSms(); ++s) {
+            for (std::size_t k = 0; k < kernels.size(); ++k) {
+                gqos_assert(
+                    gpu.sm(s)
+                        .cycleBreakdown(static_cast<KernelId>(k))
+                        .total() == gpu.sm(s).stats().cycles);
+            }
+        }
+        for (std::size_t k = 0; k < kernels.size(); ++k)
+            lastBreakdown_.push_back(
+                gpu.cycleBreakdown(static_cast<KernelId>(k)));
+    }
 
     Cycle window = opts_.cycles - warmup;
     CachedCase out;
@@ -237,6 +272,14 @@ Runner::simulate(const std::vector<std::string> &kernels,
         gpu.mem().totalDramAccesses() / std::max<Cycle>(1, gpu.now());
     simulated_++;
     if (opts_.metrics) {
+        for (const CycleBreakdown &b : lastBreakdown_) {
+            for (int i = 0; i < numCycleCats; ++i) {
+                opts_.metrics
+                    ->counter(std::string("cycles.") +
+                              toString(static_cast<CycleCat>(i)))
+                    .inc(b.counts[i]);
+            }
+        }
         opts_.metrics->counter("harness.cases_simulated").inc();
         opts_.metrics->counter("engine.stepped_cycles")
             .inc(engine.stats().steppedCycles);
@@ -300,8 +343,9 @@ Runner::run(const std::vector<std::string> &kernels,
     std::string key = caseKey(kernels, goal_frac, policy);
     CachedCase c;
     // Captured right after this case's own simulate(): the nested
-    // isolated-baseline runs below would overwrite the member.
+    // isolated-baseline runs below would overwrite the members.
     double sim_cps = 0.0;
+    std::vector<CycleBreakdown> breakdown;
     bool from_cache = cache_ && cache_->lookup(key, c) &&
                       c.ipc.size() == kernels.size();
     if (!from_cache) {
@@ -311,6 +355,7 @@ Runner::run(const std::vector<std::string> &kernels,
             return sim.error();
         c = std::move(sim).value();
         sim_cps = lastSimCyclesPerSec_;
+        breakdown = std::move(lastBreakdown_);
         if (cache_) {
             cache_->insert(key, c);
             if (opts_.traceSink && !opts_.tracePath.empty())
@@ -375,6 +420,7 @@ Runner::run(const std::vector<std::string> &kernels,
         rc.instrPerWatt = result.instrPerWatt;
         rc.dramPerKcycle = result.dramPerKcycle;
         rc.preemptions = result.preemptions;
+        rc.cycleBreakdown = std::move(breakdown);
         if (opts_.traceSink) {
             rc.tracePath = from_cache && cache_
                 ? cache_->artifact(key)

@@ -31,6 +31,7 @@
 #include "common/result.hh"
 #include "engine/sim_engine.hh"
 #include "harness/result_cache.hh"
+#include "telemetry/cycle_accounting.hh"
 
 namespace gqos
 {
@@ -231,6 +232,12 @@ class Runner
      * threaded, see the class comment).
      */
     double lastSimCyclesPerSec_ = 0.0;
+    /**
+     * Per-kernel cycle attribution of the most recent simulate()
+     * call (empty when the profiler was off); same plumbing
+     * pattern as lastSimCyclesPerSec_.
+     */
+    std::vector<CycleBreakdown> lastBreakdown_;
     /**
      * run() nesting depth: isolated-baseline runs recurse through
      * run(), and only depth-1 calls are report-worthy cases.

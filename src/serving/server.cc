@@ -197,6 +197,23 @@ ServingDriver::run(const std::vector<Arrival> &arrivals,
     gpu.launch(descPtrs);
     for (int t = 0; t < n; ++t)
         gpu.setManualLaunch(t);
+    // Cycle attribution is on whenever anyone can observe it (the
+    // metrics registry or a trace/timeline sink); otherwise the
+    // profiler stays off the hot path entirely.
+    const bool accounting = opts_.metrics || sink;
+    if (accounting)
+        gpu.setCycleAccounting(true);
+    if (out) {
+        gpu.setSmSliceCallback([out](SmId sm, KernelId k, Cycle start,
+                                     Cycle end) {
+            SmSliceRecord rec;
+            rec.sm = sm;
+            rec.kernel = k;
+            rec.start = start;
+            rec.end = end;
+            out->onSmSlice(rec);
+        });
+    }
     policy.onLaunch(gpu);
 
     SimEngine engine(opts_.engine, stallWindow);
@@ -234,6 +251,9 @@ ServingDriver::run(const std::vector<Arrival> &arrivals,
         rec.request = request;
         rec.latency = latency;
         rec.level = admission.level();
+        rec.queueDepth = tenant >= 0
+            ? static_cast<int>(admission.queueDepth(tenant))
+            : static_cast<int>(admission.totalBacklog());
         rec.detail = detail;
         out->onServingEvent(rec);
     };
@@ -426,6 +446,31 @@ ServingDriver::run(const std::vector<Arrival> &arrivals,
             emit("shutdown_drop", t, residual[t], 0, "queued");
     }
     policy.onFinish(gpu);
+    gpu.closeOpenSmSlices();
+
+    if (accounting) {
+        // Conservation: the profiler attributes every SM cycle to
+        // exactly one category, so per-SM totals must equal the SM's
+        // cycle count regardless of how the run ended.
+        for (int s = 0; s < gpu.numSms(); ++s) {
+            for (int t = 0; t < n; ++t) {
+                gqos_assert(gpu.sm(s).cycleBreakdown(t).total() ==
+                            gpu.sm(s).stats().cycles);
+            }
+        }
+        for (int t = 0; t < n; ++t) {
+            CycleBreakdown b = gpu.cycleBreakdown(t);
+            if (opts_.metrics) {
+                for (int i = 0; i < numCycleCats; ++i) {
+                    opts_.metrics->counter(
+                        std::string("cycles.") +
+                        toString(static_cast<CycleCat>(i)))
+                        .inc(b.counts[i]);
+                }
+            }
+            report.cycleBreakdown.push_back(b);
+        }
+    }
 
     report.endCycle = gpu.now();
     report.finalLevel = admission.level();

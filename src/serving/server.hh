@@ -38,6 +38,7 @@
 #include "serving/admission.hh"
 #include "serving/arrival.hh"
 #include "serving/tenant.hh"
+#include "telemetry/cycle_accounting.hh"
 
 namespace gqos
 {
@@ -110,6 +111,12 @@ struct ServingReport
     bool anyTenantStalled = false;
     /** True when the run drained every queue before the hard end. */
     bool drained = false;
+    /**
+     * Per-tenant (kernel-slot) cycle attribution summed over SMs,
+     * index-aligned with `tenants`; empty when the profiler was off
+     * (no metrics registry and no trace sink attached).
+     */
+    std::vector<CycleBreakdown> cycleBreakdown;
 };
 
 class ServingDriver

@@ -64,6 +64,7 @@ SmCore::bindKernels(const std::vector<const KernelRun *> &runs)
     runs_ = runs;
     for (auto &kc : kernels_)
         kc = KernelCtx();
+    inertClass_.fill(CycleCat::InertSkipped);
     for (std::size_t k = 0; k < runs_.size(); ++k) {
         gqos_assert(runs_[k] != nullptr);
         gqos_assert(runs_[k]->id() == static_cast<KernelId>(k));
@@ -181,6 +182,7 @@ SmCore::startPreemption(KernelId k, Cycle now)
 
     TbSlot &tb = tbs_[victim];
     tb.draining = true;
+    kernels_[k].drainingTbs++;
     for (int wslot : tb.warpSlots) {
         Warp &w = warps_[wslot];
         if (w.state == WarpState::Live)
@@ -249,6 +251,7 @@ SmCore::freeTb(int tb_slot, TbExit exit, Cycle now)
         sc.storeMask = clearBit(sc.storeMask, lane);
         sc.kernelMask[k] = clearBit(sc.kernelMask[k], lane);
     }
+    bool was_draining = tb.draining;
     tb.valid = false;
     tb.draining = false;
 
@@ -258,7 +261,10 @@ SmCore::freeTb(int tb_slot, TbExit exit, Cycle now)
     tbSlotsUsed_--;
     kc.residentTbs--;
     kc.residentWarps -= d.warpsPerTb();
-    gqos_assert(kc.residentTbs >= 0 && threadsUsed_ >= 0);
+    if (was_draining)
+        kc.drainingTbs--;
+    gqos_assert(kc.residentTbs >= 0 && threadsUsed_ >= 0 &&
+                kc.drainingTbs >= 0);
 
     for (int s = 0; s < numScheds_; ++s)
         rebuildAgeOrder(s);
@@ -623,6 +629,26 @@ SmCore::cycle(Cycle now, bool sample_iw, Cycle *next_event)
     bool blocked_store = false;
     bool pick_declined = false;
 
+    // Attribution snapshot: the issue loop consumes scheduler bits
+    // (clearSchedBits / freeTb), so the per-kernel ready facts must
+    // be captured before arbitration mutates them.
+    std::uint32_t acct_ready = 0;
+    std::uint32_t acct_nonmem = 0;
+    std::uint32_t issued_kernels = 0;
+    if (accounting_) {
+        for (int s = 0; s < numScheds_; ++s) {
+            const SchedulerState &sc = scheds_[s];
+            std::uint64_t mem_mask = sc.loadMask | sc.storeMask;
+            for (int k = 0; k < nk; ++k) {
+                std::uint64_t r = sc.ready & sc.kernelMask[k];
+                if (r)
+                    acct_ready |= 1u << k;
+                if (r & ~mem_mask)
+                    acct_nonmem |= 1u << k;
+            }
+        }
+    }
+
     int first = static_cast<int>(now % numScheds_);
     for (int i = 0; i < numScheds_; ++i) {
         int s = first + i;
@@ -679,6 +705,8 @@ SmCore::cycle(Cycle now, bool sample_iw, Cycle *next_event)
         bool is_mem =
             warps_[slot].next.cls == InstrClass::GlobalLoad ||
             warps_[slot].next.cls == InstrClass::GlobalStore;
+        if (accounting_)
+            issued_kernels |= 1u << warps_[slot].kernel;
         issueWarp(slot, now);
         if (is_mem)
             lsu_used++;
@@ -731,6 +759,26 @@ SmCore::cycle(Cycle now, bool sample_iw, Cycle *next_event)
                 kernels_[k].residentTbs > 0) {
                 kernels_[k].stats.gatedCycles++;
             }
+        }
+    }
+
+    if (accounting_) {
+        // Exactly one category per bound kernel per cycle keeps the
+        // conservation invariant (sum == stats_.cycles) structural.
+        // residentTbs/drainingTbs of a non-issuing kernel are
+        // unchanged by the issue loop, so post-loop reads match the
+        // pre-arbitration state the snapshot captured.
+        for (int k = 0; k < nk; ++k) {
+            CycleCat cat = (issued_kernels & (1u << k))
+                ? CycleCat::Issued
+                : classifyStalled(k, allowed,
+                                  (acct_ready >> k) & 1,
+                                  (acct_nonmem >> k) & 1);
+            kernels_[k].breakdown.add(cat, 1);
+            // A deferred inert cycle replays the classification of
+            // the no-issue cycle that froze the state.
+            if (!any_issue)
+                inertClass_[k] = cat;
         }
     }
 
@@ -883,6 +931,55 @@ SmCore::nextEventAt(Cycle now) const
     return next;
 }
 
+CycleCat
+SmCore::classifyStalled(int k, std::uint32_t allowed, bool any_ready,
+                        bool any_nonmem_ready) const
+{
+    const KernelCtx &kc = kernels_[k];
+    if (kc.drainingTbs > 0)
+        return CycleCat::DrainPreempt;
+    if (quotaGating_ && kc.residentTbs > 0 &&
+        !(allowed & (1u << k)))
+        return CycleCat::QuotaGated;
+    if (any_ready) {
+        // Ready warps but no issue: when every ready warp is a
+        // global load/store, the kernel is blocked on MSHR credits,
+        // the icnt store throttle, or LSU arbitration — a memory
+        // stall. A ready ALU/SFU/shared warp instead lost plain
+        // issue arbitration this cycle.
+        return any_nonmem_ready ? CycleCat::NoReadyWarp
+                                : CycleCat::MemStall;
+    }
+    if (kc.residentTbs > 0)
+        return CycleCat::NoReadyWarp;
+    return CycleCat::InertSkipped;
+}
+
+void
+SmCore::classifyInert()
+{
+    int nk = static_cast<int>(runs_.size());
+    std::uint32_t acct_ready = 0;
+    std::uint32_t acct_nonmem = 0;
+    for (int s = 0; s < numScheds_; ++s) {
+        const SchedulerState &sc = scheds_[s];
+        std::uint64_t mem_mask = sc.loadMask | sc.storeMask;
+        for (int k = 0; k < nk; ++k) {
+            std::uint64_t r = sc.ready & sc.kernelMask[k];
+            if (r)
+                acct_ready |= 1u << k;
+            if (r & ~mem_mask)
+                acct_nonmem |= 1u << k;
+        }
+    }
+    std::uint32_t allowed = allowedKernelMask();
+    for (int k = 0; k < nk; ++k) {
+        inertClass_[k] = classifyStalled(k, allowed,
+                                         (acct_ready >> k) & 1,
+                                         (acct_nonmem >> k) & 1);
+    }
+}
+
 void
 SmCore::applyInertSpan(Cycle span)
 {
@@ -903,6 +1000,18 @@ SmCore::applyInertSpan(Cycle span)
             }
         }
     }
+
+    if (accounting_) {
+        // Every classification input (ready/instr masks, residency,
+        // drains, quota gating, MSHR credits, store throttle) is
+        // frozen across an inert span — nextEventAt() stops a skip
+        // at the first cycle any of them could change — so each
+        // skipped cycle classifies exactly as the per-cycle engine
+        // would have.
+        int nk = static_cast<int>(runs_.size());
+        for (int k = 0; k < nk; ++k)
+            kernels_[k].breakdown.add(inertClass_[k], span);
+    }
 }
 
 void
@@ -918,6 +1027,11 @@ SmCore::skipCycles(Cycle now, Cycle span, Cycle samples)
 {
     gqos_assert(span >= 1);
     settle();
+    // Direct skips (Gpu::run / skipTo without a prior no-issue
+    // cycle()) have no valid inertClass_ cache; recompute it from
+    // the frozen state.
+    if (accounting_)
+        classifyInert();
     applyInertSpan(span);
 
     if (samples == 0)
@@ -961,6 +1075,17 @@ SmCore::setQuotaGating(bool on)
 {
     settle();
     quotaGating_ = on;
+    mutVersion_++;
+}
+
+void
+SmCore::setCycleAccounting(bool on)
+{
+    // Enabling mid-run would break conservation: cycles before the
+    // switch were never attributed.
+    gqos_assert(!on || stats_.cycles == 0);
+    settle();
+    accounting_ = on;
     mutVersion_++;
 }
 

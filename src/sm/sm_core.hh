@@ -24,6 +24,7 @@
 #include "sm/kernel_run.hh"
 #include "sm/scheduler.hh"
 #include "sm/warp.hh"
+#include "telemetry/cycle_accounting.hh"
 
 namespace gqos
 {
@@ -202,6 +203,30 @@ class SmCore
     int threadsUsed() const { return threadsUsed_; }
     int numKernels() const { return static_cast<int>(runs_.size()); }
 
+    // ---- cycle attribution (telemetry/cycle_accounting.hh) ----
+
+    /**
+     * Enable the cycle-attribution profiler. Must be called before
+     * the SM's first cycle so the conservation invariant (every
+     * category sum telescopes to stats().cycles) holds from cycle 0.
+     * Off by default; the off path costs one predictable branch per
+     * cycle and per issue.
+     */
+    void setCycleAccounting(bool on);
+    bool cycleAccounting() const { return accounting_; }
+
+    /**
+     * Attribution counters of kernel @p k on this SM. With
+     * accounting enabled, the categories of every bound kernel sum
+     * exactly to stats().cycles — on both stepping engines.
+     */
+    const CycleBreakdown &
+    cycleBreakdown(KernelId k) const
+    {
+        settle();
+        return kernels_[k].breakdown;
+    }
+
     // ---- statistics ----
 
     const SmKernelStats &kernelStats(KernelId k) const;
@@ -233,8 +258,10 @@ class SmCore
         double quota = 0.0;
         int residentTbs = 0;
         int residentWarps = 0;
+        int drainingTbs = 0; //!< TBs mid context-switch drain
         int mshrHeld = 0; //!< outstanding L1 misses of this kernel
         SmKernelStats stats;
+        CycleBreakdown breakdown; //!< cycle attribution (if enabled)
     };
 
     struct Drain
@@ -267,6 +294,18 @@ class SmCore
     /** Apply the counter side of an inert span (no samples). */
     void applyInertSpan(Cycle span);
     void settleDeferred();
+    /**
+     * Attribution category of kernel @p k on a cycle where it did
+     * not issue, from the facts the issue arbiter derived:
+     * @p allowed is the EWS quota mask, @p any_ready / @p
+     * any_nonmem_ready describe the kernel's ready warps before
+     * arbitration. Pure function of frozen state on inert cycles.
+     */
+    CycleCat classifyStalled(int k, std::uint32_t allowed,
+                             bool any_ready,
+                             bool any_nonmem_ready) const;
+    /** Refresh inertClass_ from the current (frozen) state. */
+    void classifyInert();
     /**
      * Settle any deferred inert cycles. Logically const: it only
      * materializes accounting the SM already owes.
@@ -353,6 +392,16 @@ class SmCore
 
     std::vector<Drain> drains_;
     bool quotaGating_ = false;
+    bool accounting_ = false; //!< cycle-attribution profiler on
+    /**
+     * Attribution cache for deferred inert cycles: the category of
+     * each kernel, written by the most recent no-issue cycle().
+     * Valid for every deferInertCycle() that follows, because the
+     * Gpu only defers under a mutVersion()-valid inertia cache
+     * (every external mutation settles first, then bumps the
+     * version), so the classified state is frozen until settlement.
+     */
+    std::array<CycleCat, maxKernels> inertClass_{};
     Cycle epochCycles_ = 0; //!< cycles since last sample reset
     std::uint64_t mutVersion_ = 0; //!< see mutVersion()
     Cycle deferredInert_ = 0; //!< see deferInertCycle()

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Cycle-attribution category names and JSON emission.
+ */
+
+#include "telemetry/cycle_accounting.hh"
+
+namespace gqos
+{
+
+const char *
+toString(CycleCat cat)
+{
+    switch (cat) {
+      case CycleCat::Issued:
+        return "issued";
+      case CycleCat::QuotaGated:
+        return "quota_gated";
+      case CycleCat::MemStall:
+        return "mem_stall";
+      case CycleCat::NoReadyWarp:
+        return "no_ready_warp";
+      case CycleCat::DrainPreempt:
+        return "drain_preempt";
+      case CycleCat::InertSkipped:
+        return "inert_skipped";
+    }
+    return "unknown";
+}
+
+std::string
+jsonObject(const CycleBreakdown &b)
+{
+    std::string out = "{";
+    for (int i = 0; i < numCycleCats; ++i) {
+        if (i)
+            out += ',';
+        out += '"';
+        out += toString(static_cast<CycleCat>(i));
+        out += "\":";
+        out += std::to_string(b.counts[i]);
+    }
+    out += '}';
+    return out;
+}
+
+} // namespace gqos

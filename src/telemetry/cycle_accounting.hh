@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Cycle-attribution profiler: disjoint per-(SM, kernel) cycle
+ * categories with a hard conservation invariant.
+ *
+ * Every SM cycle is attributed, for every bound kernel, to exactly
+ * one category:
+ *
+ *   - issued:        the kernel issued >= 1 instruction this cycle
+ *   - drain_preempt: no issue and >= 1 of its TBs is draining for a
+ *                    partial context switch
+ *   - quota_gated:   no issue, resident, excluded from candidate
+ *                    selection because its EWS quota is exhausted
+ *   - mem_stall:     no issue, >= 1 ready warp, and every ready warp
+ *                    is a global load/store blocked on MSHR credits,
+ *                    the icnt store throttle, or LSU arbitration
+ *   - no_ready_warp: no issue, resident, and either no warp is ready
+ *                    (all in-flight on latency) or a ready non-memory
+ *                    warp lost issue arbitration this cycle
+ *   - inert_skipped: the kernel has no resident TBs on this SM
+ *
+ * Categories telescope: for each (sm, kernel) their sum equals the
+ * SM's total cycle count, whichever stepping engine produced them.
+ * The classification is a pure function of state the issue arbiter
+ * already derives, and of state that is provably frozen across an
+ * event-engine inert span, which is what makes `--engine=event` and
+ * `--engine=reference` attributions bit-identical (DESIGN.md §13).
+ */
+
+#ifndef GQOS_TELEMETRY_CYCLE_ACCOUNTING_HH
+#define GQOS_TELEMETRY_CYCLE_ACCOUNTING_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace gqos
+{
+
+/** Attribution category of one (sm, kernel, cycle). */
+enum class CycleCat : std::uint8_t
+{
+    Issued = 0,
+    QuotaGated,
+    MemStall,
+    NoReadyWarp,
+    DrainPreempt,
+    InertSkipped,
+};
+
+/** Number of CycleCat values (array sizing). */
+constexpr int numCycleCats = 6;
+
+/** Stable snake_case name ("issued", "quota_gated", ...). */
+const char *toString(CycleCat cat);
+
+/** Per-(sm, kernel) cycle attribution counters. */
+struct CycleBreakdown
+{
+    std::array<std::uint64_t, numCycleCats> counts{};
+
+    void
+    add(CycleCat cat, std::uint64_t n)
+    {
+        counts[static_cast<int>(cat)] += n;
+    }
+
+    std::uint64_t
+    at(CycleCat cat) const
+    {
+        return counts[static_cast<int>(cat)];
+    }
+
+    /** Sum over all categories; the conservation invariant makes
+     *  this equal to the owning SM's total cycle count. */
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t t = 0;
+        for (std::uint64_t c : counts)
+            t += c;
+        return t;
+    }
+
+    CycleBreakdown &
+    operator+=(const CycleBreakdown &o)
+    {
+        for (int i = 0; i < numCycleCats; ++i)
+            counts[i] += o.counts[i];
+        return *this;
+    }
+
+    bool
+    operator==(const CycleBreakdown &o) const
+    {
+        return counts == o.counts;
+    }
+};
+
+/** {"issued":N,"quota_gated":N,...} with keys in category order. */
+std::string jsonObject(const CycleBreakdown &b);
+
+} // namespace gqos
+
+#endif // GQOS_TELEMETRY_CYCLE_ACCOUNTING_HH

@@ -69,6 +69,7 @@ jsonlEpochKernel(const EpochKernelRecord &r)
 {
     std::ostringstream os;
     os << "{\"type\":\"epoch_kernel\""
+       << ",\"schema_version\":" << traceSchemaVersion
        << ",\"case\":\"" << jsonEscape(r.caseKey) << "\""
        << ",\"epoch\":" << r.epoch
        << ",\"start\":" << r.start
@@ -103,6 +104,7 @@ jsonlEpochMem(const EpochMemRecord &r)
 {
     std::ostringstream os;
     os << "{\"type\":\"epoch_mem\""
+       << ",\"schema_version\":" << traceSchemaVersion
        << ",\"case\":\"" << jsonEscape(r.caseKey) << "\""
        << ",\"epoch\":" << r.epoch
        << ",\"start\":" << r.start
@@ -122,6 +124,7 @@ jsonlAllocEvent(const AllocEventRecord &r)
 {
     std::ostringstream os;
     os << "{\"type\":\"alloc_event\""
+       << ",\"schema_version\":" << traceSchemaVersion
        << ",\"case\":\"" << jsonEscape(r.caseKey) << "\""
        << ",\"epoch\":" << r.epoch
        << ",\"cycle\":" << r.cycle
@@ -138,6 +141,7 @@ jsonlServingEvent(const ServingEventRecord &r)
 {
     std::ostringstream os;
     os << "{\"type\":\"serving_event\""
+       << ",\"schema_version\":" << traceSchemaVersion
        << ",\"case\":\"" << jsonEscape(r.caseKey) << "\""
        << ",\"cycle\":" << r.cycle
        << ",\"event\":\"" << jsonEscape(r.event) << "\""
@@ -145,27 +149,45 @@ jsonlServingEvent(const ServingEventRecord &r)
        << ",\"request\":" << r.request
        << ",\"latency\":" << r.latency
        << ",\"level\":" << r.level
+       << ",\"queue_depth\":" << r.queueDepth
        << ",\"detail\":\"" << jsonEscape(r.detail) << "\"}";
     return os.str();
 }
 
-// Column order of the CSV backend; keep in sync with the four
-// csv*() formatters below. Serving events reuse `reason` for their
-// detail string and append their own tail columns.
+std::string
+jsonlSmSlice(const SmSliceRecord &r)
+{
+    std::ostringstream os;
+    os << "{\"type\":\"sm_slice\""
+       << ",\"schema_version\":" << traceSchemaVersion
+       << ",\"case\":\"" << jsonEscape(r.caseKey) << "\""
+       << ",\"sm\":" << r.sm
+       << ",\"kernel\":" << r.kernel
+       << ",\"start\":" << r.start
+       << ",\"end\":" << r.end << "}";
+    return os.str();
+}
+
+// Column order of the CSV backend; keep in sync with the csv*()
+// formatters below. Serving events reuse `reason` for their detail
+// string; sm_slice rows reuse `start`/`length`/`kernel`/`sm` and
+// carry their exclusive end cycle in the trailing `end` column.
 const char *kCsvHeader =
-    "type,case,epoch,start,length,final_partial,kernel,is_qos,"
+    "type,schema_version,case,epoch,start,length,final_partial,"
+    "kernel,is_qos,"
     "goal_ipc,non_qos_goal,alpha,ipc_epoch,ipc_history,attainment,"
     "quota_granted,instr_delta,completed_tbs,preempted_tbs,"
     "quota_refills,tb_target,tb_resident,iw_average,gated_fraction,"
     "leftover_per_sm,l1_accesses,l1_misses,l2_accesses,l2_misses,"
     "dram_accesses,context_lines,cycle,sm,delta,reason,"
-    "event,tenant,request,latency,level";
+    "event,tenant,request,latency,level,queue_depth,end";
 
 std::string
 csvEpochKernel(const EpochKernelRecord &r)
 {
     std::ostringstream os;
-    os << "epoch_kernel," << csvField(r.caseKey) << ','
+    os << "epoch_kernel," << traceSchemaVersion << ','
+       << csvField(r.caseKey) << ','
        << r.epoch << ',' << r.start << ',' << r.length << ','
        << (r.finalPartial ? 1 : 0) << ',' << r.kernel << ','
        << (r.isQos ? 1 : 0) << ',' << csvNumber(r.goalIpc) << ','
@@ -178,7 +200,7 @@ csvEpochKernel(const EpochKernelRecord &r)
        << ',' << csvNumber(r.iwAverage) << ','
        << csvNumber(r.gatedFraction) << ','
        << leftoverList(r.leftoverPerSm, '|')
-       << ",,,,,,,,,,,,,,,"; // mem + event + serving columns empty
+       << ",,,,,,,,,,,,,,,,,"; // mem + event + serving + end empty
     return os.str();
 }
 
@@ -186,13 +208,14 @@ std::string
 csvEpochMem(const EpochMemRecord &r)
 {
     std::ostringstream os;
-    os << "epoch_mem," << csvField(r.caseKey) << ',' << r.epoch
+    os << "epoch_mem," << traceSchemaVersion << ','
+       << csvField(r.caseKey) << ',' << r.epoch
        << ',' << r.start << ',' << r.length << ','
        << (r.finalPartial ? 1 : 0)
-       << ",,,,,,,,,,,,,,,,,," // kernel columns empty
+       << ",,,,,,,,,,,,,,,,,,," // kernel..leftover_per_sm empty
        << r.l1Accesses << ',' << r.l1Misses << ',' << r.l2Accesses
        << ',' << r.l2Misses << ',' << r.dramAccesses << ','
-       << r.contextLines << ",,,,,,,,,"; // event + serving empty
+       << r.contextLines << ",,,,,,,,,,,"; // event..end empty
     return os.str();
 }
 
@@ -200,13 +223,14 @@ std::string
 csvAllocEvent(const AllocEventRecord &r)
 {
     std::ostringstream os;
-    os << "alloc_event," << csvField(r.caseKey) << ',' << r.epoch
+    os << "alloc_event," << traceSchemaVersion << ','
+       << csvField(r.caseKey) << ',' << r.epoch
        << ",,,," << r.kernel << ','
-       << ",,,,,,,,,,,,,"
+       << ",,,,,,,,,,,,,,"
        << csvNumber(r.iwAverage)
        << ",,,,,,,,," // gated..context_lines empty
        << r.cycle << ',' << r.sm << ',' << r.delta << ','
-       << csvField(r.reason) << ",,,,,"; // serving columns empty
+       << csvField(r.reason) << ",,,,,,,"; // serving + end empty
     return os.str();
 }
 
@@ -214,11 +238,28 @@ std::string
 csvServingEvent(const ServingEventRecord &r)
 {
     std::ostringstream os;
-    os << "serving_event," << csvField(r.caseKey)
+    os << "serving_event," << traceSchemaVersion << ','
+       << csvField(r.caseKey)
        << ",,,,,,,,,,,,,,,,,,,,,,,,,,,,," // epoch..context_lines
        << r.cycle << ",,," << csvField(r.detail) << ','
        << csvField(r.event) << ',' << csvField(r.tenant) << ','
-       << r.request << ',' << r.latency << ',' << r.level;
+       << r.request << ',' << r.latency << ',' << r.level << ','
+       << r.queueDepth << ','; // trailing `end` empty
+    return os.str();
+}
+
+std::string
+csvSmSlice(const SmSliceRecord &r)
+{
+    std::ostringstream os;
+    os << "sm_slice," << traceSchemaVersion << ','
+       << csvField(r.caseKey)
+       << ",," << r.start << ',' << (r.end - r.start)
+       << ",," << r.kernel
+       << ",,,,,,,,,,,,,,,,,,,,,,,,," // is_qos..cycle empty
+       << r.sm
+       << ",,,,,,,,," // delta..queue_depth empty
+       << r.end;
     return os.str();
 }
 
@@ -304,6 +345,56 @@ CaseLabelingSink::onServingEvent(const ServingEventRecord &rec)
 }
 
 void
+CaseLabelingSink::onSmSlice(const SmSliceRecord &rec)
+{
+    SmSliceRecord labeled = rec;
+    labeled.caseKey = caseKey_;
+    inner_->onSmSlice(labeled);
+}
+
+void
+TeeTraceSink::onEpochKernel(const EpochKernelRecord &rec)
+{
+    a_->onEpochKernel(rec);
+    b_->onEpochKernel(rec);
+}
+
+void
+TeeTraceSink::onEpochMem(const EpochMemRecord &rec)
+{
+    a_->onEpochMem(rec);
+    b_->onEpochMem(rec);
+}
+
+void
+TeeTraceSink::onAllocEvent(const AllocEventRecord &rec)
+{
+    a_->onAllocEvent(rec);
+    b_->onAllocEvent(rec);
+}
+
+void
+TeeTraceSink::onServingEvent(const ServingEventRecord &rec)
+{
+    a_->onServingEvent(rec);
+    b_->onServingEvent(rec);
+}
+
+void
+TeeTraceSink::onSmSlice(const SmSliceRecord &rec)
+{
+    a_->onSmSlice(rec);
+    b_->onSmSlice(rec);
+}
+
+void
+TeeTraceSink::flush()
+{
+    a_->flush();
+    b_->flush();
+}
+
+void
 BufferingTraceSink::onEpochKernel(const EpochKernelRecord &rec)
 {
     std::lock_guard<std::mutex> guard(mutex_);
@@ -344,6 +435,16 @@ BufferingTraceSink::onServingEvent(const ServingEventRecord &rec)
 }
 
 void
+BufferingTraceSink::onSmSlice(const SmSliceRecord &rec)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    Entry e;
+    e.kind = Entry::Kind::SmSlice;
+    e.smSlice = rec;
+    records_.push_back(std::move(e));
+}
+
+void
 BufferingTraceSink::replayTo(TraceSink &sink) const
 {
     for (const Entry &e : records_) {
@@ -359,6 +460,9 @@ BufferingTraceSink::replayTo(TraceSink &sink) const
             break;
           case Entry::Kind::Serving:
             sink.onServingEvent(e.serving);
+            break;
+          case Entry::Kind::SmSlice:
+            sink.onSmSlice(e.smSlice);
             break;
         }
     }
@@ -409,6 +513,12 @@ void
 JsonlTraceSink::onServingEvent(const ServingEventRecord &rec)
 {
     writeLine(jsonlServingEvent(rec));
+}
+
+void
+JsonlTraceSink::onSmSlice(const SmSliceRecord &rec)
+{
+    writeLine(jsonlSmSlice(rec));
 }
 
 void
@@ -465,6 +575,12 @@ void
 CsvTraceSink::onServingEvent(const ServingEventRecord &rec)
 {
     writeLine(csvServingEvent(rec));
+}
+
+void
+CsvTraceSink::onSmSlice(const SmSliceRecord &rec)
+{
+    writeLine(csvSmSlice(rec));
 }
 
 void

@@ -42,6 +42,18 @@ namespace gqos
 {
 
 /**
+ * Schema version stamped into every serialized trace record (JSONL
+ * field / CSV column "schema_version") so downstream tooling can
+ * diff and version-gate outputs. Bump whenever a record gains,
+ * loses or reinterprets a field.
+ *
+ *   1: initial JSONL/CSV layout
+ *   2: schema_version stamped; serving_event gains queue_depth;
+ *      new sm_slice record kind (cycle-attribution timeline)
+ */
+constexpr int traceSchemaVersion = 2;
+
+/**
  * One record per (epoch, kernel), emitted at each epoch boundary
  * for the epoch that just ended (plus one final partial record at
  * run end so instruction deltas sum to the run total).
@@ -118,6 +130,24 @@ struct ServingEventRecord
     std::uint64_t latency = 0; //!< launch-to-done cycles (complete)
     int level = 0;       //!< degradation-ladder level when emitted
     std::string detail;  //!< outcome / reason, free-form but stable
+    /** Tenant queue depth right after the event (server-wide events
+     *  carry the total backlog); drives timeline counter tracks. */
+    int queueDepth = 0;
+};
+
+/**
+ * One kernel-occupancy span on one SM: kernel @p kernel had >= 1
+ * resident TB on SM @p sm for cycles [start, end). Produced by the
+ * harness from Gpu::setSmSliceCallback for the timeline exporter's
+ * per-SM tracks.
+ */
+struct SmSliceRecord
+{
+    std::string caseKey;
+    int sm = 0;
+    int kernel = 0;
+    Cycle start = 0;
+    Cycle end = 0;
 };
 
 /**
@@ -138,6 +168,13 @@ class TraceSink
      * sinks (and out-of-tree implementations) need not care.
      */
     virtual void onServingEvent(const ServingEventRecord &) {}
+
+    /**
+     * Kernel-occupancy slice on one SM (timeline exporter input).
+     * Default no-op: line-oriented backends can record it, but most
+     * consumers only care about epoch records.
+     */
+    virtual void onSmSlice(const SmSliceRecord &) {}
 
     /** Make everything emitted so far durable (default no-op). */
     virtual void flush() {}
@@ -160,11 +197,34 @@ class CaseLabelingSink : public TraceSink
     void onEpochMem(const EpochMemRecord &rec) override;
     void onAllocEvent(const AllocEventRecord &rec) override;
     void onServingEvent(const ServingEventRecord &rec) override;
+    void onSmSlice(const SmSliceRecord &rec) override;
     void flush() override { inner_->flush(); }
 
   private:
     TraceSink *inner_;
     std::string caseKey_;
+};
+
+/**
+ * Fan-out decorator: forwards every record to two sinks. Used when
+ * a bench is asked for both `--trace` and `--timeline` so producers
+ * keep holding a single `TraceSink *`.
+ */
+class TeeTraceSink : public TraceSink
+{
+  public:
+    TeeTraceSink(TraceSink *a, TraceSink *b) : a_(a), b_(b) {}
+
+    void onEpochKernel(const EpochKernelRecord &rec) override;
+    void onEpochMem(const EpochMemRecord &rec) override;
+    void onAllocEvent(const AllocEventRecord &rec) override;
+    void onServingEvent(const ServingEventRecord &rec) override;
+    void onSmSlice(const SmSliceRecord &rec) override;
+    void flush() override;
+
+  private:
+    TraceSink *a_;
+    TraceSink *b_;
 };
 
 /** In-memory sink for tests and programmatic consumers. */
@@ -199,10 +259,18 @@ class RecordingTraceSink : public TraceSink
         servingEvents.push_back(rec);
     }
 
+    void
+    onSmSlice(const SmSliceRecord &rec) override
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        smSlices.push_back(rec);
+    }
+
     std::vector<EpochKernelRecord> epochKernel;
     std::vector<EpochMemRecord> epochMem;
     std::vector<AllocEventRecord> allocEvents;
     std::vector<ServingEventRecord> servingEvents;
+    std::vector<SmSliceRecord> smSlices;
 
   private:
     std::mutex mutex_;
@@ -222,6 +290,7 @@ class BufferingTraceSink : public TraceSink
     void onEpochMem(const EpochMemRecord &rec) override;
     void onAllocEvent(const AllocEventRecord &rec) override;
     void onServingEvent(const ServingEventRecord &rec) override;
+    void onSmSlice(const SmSliceRecord &rec) override;
 
     /** Forward every buffered record to @p sink, in emission order. */
     void replayTo(TraceSink &sink) const;
@@ -233,12 +302,20 @@ class BufferingTraceSink : public TraceSink
     {
         // A tiny hand-rolled variant keeps the header dependency
         // surface flat; exactly one member is populated per entry.
-        enum class Kind { EpochKernel, EpochMem, AllocEvent, Serving };
+        enum class Kind
+        {
+            EpochKernel,
+            EpochMem,
+            AllocEvent,
+            Serving,
+            SmSlice
+        };
         Kind kind;
         EpochKernelRecord epochKernel;
         EpochMemRecord epochMem;
         AllocEventRecord allocEvent;
         ServingEventRecord serving;
+        SmSliceRecord smSlice;
     };
 
     std::mutex mutex_;
@@ -262,6 +339,7 @@ class JsonlTraceSink : public TraceSink
     void onEpochMem(const EpochMemRecord &rec) override;
     void onAllocEvent(const AllocEventRecord &rec) override;
     void onServingEvent(const ServingEventRecord &rec) override;
+    void onSmSlice(const SmSliceRecord &rec) override;
     void flush() override;
 
   private:
@@ -291,6 +369,7 @@ class CsvTraceSink : public TraceSink
     void onEpochMem(const EpochMemRecord &rec) override;
     void onAllocEvent(const AllocEventRecord &rec) override;
     void onServingEvent(const ServingEventRecord &rec) override;
+    void onSmSlice(const SmSliceRecord &rec) override;
     void flush() override;
 
   private:

@@ -241,7 +241,8 @@ TEST(Trace, OpenTraceSinkParsesSpecs)
     std::ifstream in(base + ".csv");
     std::string header;
     ASSERT_TRUE(std::getline(in, header));
-    EXPECT_EQ(header.rfind("type,case,epoch", 0), 0u) << header;
+    EXPECT_EQ(header.rfind("type,schema_version,case,epoch", 0), 0u)
+        << header;
     std::remove((base + ".csv").c_str());
 }
 
